@@ -1,0 +1,29 @@
+"""E2 — Fig. 3 (right): performance vs pipeline looseness ``d_u - d_l``.
+
+Expected shape (paper): rigid lockstep (d_u - d_l = 0) is far below the
+plateau reached for looseness 1–4 ("a performance gain of about 80 % can
+be observed" for loose vs lockstep), on both socket and node.
+"""
+
+from __future__ import annotations
+
+from repro.bench import banner, fig3_right, format_series
+
+
+def test_fig3_right(benchmark, record_output):
+    data = benchmark.pedantic(fig3_right, rounds=1, iterations=1)
+    text = banner("Fig. 3 (right) — influence of pipeline looseness "
+                  "(d_l = 1, GLUP/s)")
+    for label in ("socket", "node"):
+        text += "\n" + format_series(label, data[label],
+                                     xlabel="d_u - d_l", ylabel="GLUP/s")
+    record_output("fig3_right", text)
+
+    for label in ("socket", "node"):
+        series = dict(data[label])
+        lockstep = series[0]
+        plateau = max(series[k] for k in series if k >= 1)
+        # Loose pipelines beat lockstep by a large margin (paper: ~80 %).
+        assert plateau / lockstep > 1.4, (label, lockstep, plateau)
+        # The curve saturates: going from looseness 2 to 5 changes little.
+        assert abs(series[5] - series[2]) / plateau < 0.15

@@ -1,0 +1,43 @@
+"""E5 — Fig. 6: distributed-memory strong/weak scaling on 1–64 nodes.
+
+Regenerates the four measured curves (standard Jacobi 1PPN/8PPN,
+pipelined 1PPN/2PPN) plus the ideal-scaling references.  Expected shape
+(paper): standard 1PPN clearly inferior; pipelined strong scaling loses
+its benefit at large node count (communication-dominated); weak scaling
+retains most of the pipelined speedup, with 2PPN substantially better
+than 1PPN.
+"""
+
+from __future__ import annotations
+
+from repro.bench import banner, fig6_series, format_series
+
+
+def test_fig6(benchmark, record_output):
+    data = benchmark.pedantic(fig6_series, rounds=1, iterations=1)
+    text = banner("Fig. 6 — strong & weak scaling, GLUP/s "
+                  "(600^3 strong / 600^3-per-process weak)")
+    for scaling in ("strong", "weak"):
+        text += f"\n--- {scaling} scaling ---"
+        for name, series in data[scaling].items():
+            text += "\n" + format_series(name, series, "nodes", "GLUP/s",
+                                         floatfmt=".2f")
+    record_output("fig6", text)
+
+    strong = {k: dict(v) for k, v in data["strong"].items()}
+    weak = {k: dict(v) for k, v in data["weak"].items()}
+
+    # Standard 1PPN ("hybrid vector mode") is clearly inferior.
+    assert strong["standard 1PPN"][64] < 0.65 * strong["standard 8PPN"][64]
+    # Single node: pipelining wins ~1.5x.
+    assert weak["pipelined 2PPN"][1] > 1.3 * weak["standard 8PPN"][1]
+    # Strong scaling: the temporal-blocking benefit is NOT maintained at
+    # 64 nodes (within 15 % of standard, or below).
+    assert strong["pipelined 2PPN"][64] < 1.15 * strong["standard 8PPN"][64]
+    # Weak scaling keeps most of the speedup.
+    single_speedup = weak["pipelined 2PPN"][1] / weak["standard 8PPN"][1]
+    weak_speedup = weak["pipelined 2PPN"][64] / weak["standard 8PPN"][64]
+    kept = (weak_speedup - 1) / (single_speedup - 1)
+    assert kept > 0.6, f"only {kept:.0%} of the pipelined speedup kept"
+    # 2PPN beats 1PPN for the pipelined code (ccNUMA placement).
+    assert weak["pipelined 2PPN"][64] > weak["pipelined 1PPN"][64]

@@ -1,0 +1,63 @@
+"""E3/E6 — the diagnostic performance model vs the simulator.
+
+Validates Eq. 2 (P0 from STREAM), the Nehalem closed form 16T/(7+4T),
+the Eq. 5 speedup-vs-T table (model matches at T=1, fails at T>=2), and
+the speedup ceiling Mc/Ms ≈ 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import banner, format_table, model_validation
+from repro.machine import nehalem_ep, simulated_stream_copy
+from repro.models import (
+    PipelineModel,
+    baseline_lups,
+    nehalem_speedup_formula,
+    socket_p0,
+)
+
+
+def test_eq2_baseline(benchmark, record_output):
+    m = nehalem_ep()
+    p0_socket = benchmark.pedantic(lambda: socket_p0(m), rounds=1, iterations=1)
+    stream = simulated_stream_copy(m, 4)
+    text = banner("Eq. 2 — baseline expectation from STREAM COPY")
+    text += (f"\nMs (socket)        : {m.mem_bw_socket / 1e9:.1f} GB/s"
+             f"\nP0 socket          : {p0_socket / 1e9:.3f} GLUP/s"
+             f"\nP0 node            : {2 * p0_socket / 1e9:.3f} GLUP/s "
+             f"(paper: 2.3 GLUP/s)"
+             f"\nsim STREAM (4 thr) : {stream.gbs():.1f} GB/s")
+    record_output("eq2_baseline", text)
+    assert abs(2 * p0_socket / 1e9 - 2.3125) < 0.01
+    assert baseline_lups(18.5e9) == pytest.approx(1.15625e9)
+
+
+def test_eq5_model_vs_sim(benchmark, record_output):
+    rows = benchmark.pedantic(model_validation, rounds=1, iterations=1)
+    table = format_table(
+        ["T", "Eq.5 speedup", "16T/(7+4T)", "model MLUP/s", "sim MLUP/s",
+         "sim speedup"],
+        [[r["T"], r["model_speedup"], r["formula_16T"], r["model_mlups"],
+          r["sim_mlups"], r["sim_speedup"]] for r in rows],
+        floatfmt="8.3f")
+    text = banner("Eq. 5 — diagnostic model vs simulation (one socket, "
+                  "t=4)") + "\n" + table
+    m = nehalem_ep()
+    pm = PipelineModel.from_machine(m)
+    text += (f"\n\nspeedup ceiling Mc/Ms = {pm.speedup_limit():.2f} "
+             f"(paper: ~4)")
+    record_output("eq5_model", text)
+
+    # Closed form: 1.45 at T=1 as quoted.
+    assert nehalem_speedup_formula(1) == pytest.approx(16 / 11)
+    by_T = {int(r["T"]): r for r in rows}
+    # Model matches simulation at T=1 within 15 % ("almost exactly").
+    assert abs(by_T[1]["model_mlups"] - by_T[1]["sim_mlups"]) \
+        / by_T[1]["sim_mlups"] < 0.15
+    # Model fails completely at larger T: overpredicts by > 20 %.
+    assert by_T[2]["model_mlups"] > 1.2 * by_T[2]["sim_mlups"]
+    assert by_T[4]["model_mlups"] > 1.3 * by_T[4]["sim_mlups"]
+    # Ceiling.
+    assert 3.5 < pm.speedup_limit() < 5.0

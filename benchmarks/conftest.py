@@ -1,0 +1,32 @@
+"""Shared helpers for the figure benchmarks.
+
+Each bench regenerates one paper artifact (table/figure series), prints
+it, and archives it under ``benchmarks/results/`` so the run leaves a
+reviewable record even when pytest captures stdout.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_output(results_dir):
+    """Return a writer that prints and archives a bench's report."""
+
+    def write(name: str, text: str) -> None:
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return write

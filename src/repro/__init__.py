@@ -1,0 +1,70 @@
+"""repro — reproduction of Wittmann, Hager & Wellein (2010),
+"Multicore-aware parallel temporal blocking of stencil codes for shared
+and distributed memory" (arXiv:0912.4506).
+
+The package has two rails:
+
+* a **functional rail** that executes the paper's pipelined
+  temporal-blocking schemes on real NumPy arrays with machine-checked
+  legality (``repro.core``, ``repro.dist``), and
+* a **performance rail** that runs the identical schedules through a
+  calibrated discrete-event machine model (``repro.machine``,
+  ``repro.sim``, ``repro.models``) to regenerate the paper's figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Grid3D, PipelineConfig, RelaxedSpec, run_pipelined
+    from repro.kernels import reference_sweeps
+
+    grid = Grid3D((32, 32, 32))
+    field = np.random.default_rng(0).random(grid.shape)
+    cfg = PipelineConfig(teams=2, threads_per_team=2, updates_per_thread=2,
+                         block_size=(8, 64, 64), sync=RelaxedSpec(1, 4))
+    result = run_pipelined(grid, field, cfg)
+    assert np.allclose(result.field,
+                       reference_sweeps(grid, field, cfg.total_updates))
+"""
+
+from .grid import Box, BlockDecomposition, DirichletBoundary, Grid3D, random_field
+from .kernels import (
+    StarStencil,
+    jacobi7,
+    jacobi5_2d,
+    reference_sweeps,
+    solve_to_tolerance,
+)
+from .core import (
+    BarrierSpec,
+    PipelineConfig,
+    PipelineExecutor,
+    PipelineResult,
+    RelaxedSpec,
+    ScheduleDeadlock,
+    StorageError,
+    run_pipelined,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box",
+    "BlockDecomposition",
+    "DirichletBoundary",
+    "Grid3D",
+    "random_field",
+    "StarStencil",
+    "jacobi7",
+    "jacobi5_2d",
+    "reference_sweeps",
+    "solve_to_tolerance",
+    "BarrierSpec",
+    "RelaxedSpec",
+    "PipelineConfig",
+    "PipelineExecutor",
+    "PipelineResult",
+    "ScheduleDeadlock",
+    "StorageError",
+    "run_pipelined",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""Schedule-level geometry checks for the pipelined scheme.
+
+These helpers validate *global* properties of a pipeline schedule that the
+per-operation storage validators cannot see:
+
+* **coverage** — for every time level, the shifted-and-clipped block
+  regions tile the active domain exactly once (no cell skipped, none
+  updated twice);
+* **skew bound** — after any prefix of a legal execution, the time-level
+  surface has spatial slope at most one along shifted dimensions (this is
+  the property that makes the two-buffer window sufficient).
+
+They are used by the test-suite and by :func:`repro.core.pipeline.plan`
+to fail fast on inconsistent configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..grid.blocks import BlockDecomposition
+from ..grid.region import Box, boxes_partition
+from .parameters import PipelineConfig
+
+__all__ = [
+    "make_decomposition",
+    "check_coverage",
+    "check_skew",
+    "ScheduleError",
+]
+
+ActiveFn = Callable[[int], Box]
+
+
+class ScheduleError(ValueError):
+    """A schedule-level inconsistency (coverage hole, bad skew, ...)."""
+
+
+def make_decomposition(domain: Box, config: PipelineConfig) -> BlockDecomposition:
+    """Build the block decomposition implied by a pipeline configuration."""
+    return BlockDecomposition(domain, config.block_size, config.max_shift)
+
+
+def check_coverage(decomp: BlockDecomposition, config: PipelineConfig,
+                   active_fn: Optional[ActiveFn] = None) -> None:
+    """Verify that every pass-local level's regions partition its domain.
+
+    Raises :class:`ScheduleError` on the first violation.  ``active_fn``
+    maps a pass-local update number (1-based) to the active box (defaults
+    to the full domain; the distributed trapezoid passes its shrinking
+    boxes).
+    """
+    for u in range(1, config.updates_per_pass + 1):
+        active = active_fn(u) if active_fn is not None else decomp.domain
+        regions = decomp.level_regions(u - 1, active)
+        if not boxes_partition(regions, active):
+            covered = sum(r.ncells for r in regions)
+            raise ScheduleError(
+                f"update {u}: regions cover {covered} cells but active "
+                f"domain has {active.ncells}; the shifted blocks do not "
+                "tile the domain"
+            )
+
+
+def check_skew(levels: np.ndarray, shift_vec: Tuple[int, int, int],
+               max_skew: int = 1) -> None:
+    """Verify the time-level surface has bounded slope along shifted dims.
+
+    ``levels`` is the executor's per-cell level array at any instant of a
+    legal execution.  Along each shifted dimension, adjacent cells may
+    differ by at most ``max_skew`` levels; along unshifted dimensions they
+    must be *equal* away from active-region boundaries — we only check the
+    shifted dims here because trapezoid clipping legitimately creates
+    steps along all dims near the rim.
+    """
+    for d in range(3):
+        if not shift_vec[d]:
+            continue
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[d] = slice(0, -1)
+        hi[d] = slice(1, None)
+        diff = np.abs(levels[tuple(hi)].astype(np.int64)
+                      - levels[tuple(lo)].astype(np.int64))
+        worst = int(diff.max()) if diff.size else 0
+        if worst > max_skew:
+            raise ScheduleError(
+                f"time-level skew {worst} along dim {d} exceeds bound "
+                f"{max_skew}; the one-cell-shift discipline is broken"
+            )
+
+
+def traversal_neighbors_gap(decomp: BlockDecomposition) -> int:
+    """Traversal-index distance that makes a predecessor's regions safe.
+
+    For a 1-D pipeline (single tiled dimension) consecutive traversal
+    blocks are spatially adjacent and the paper's minimum distance of one
+    block suffices.  When more dimensions are tiled, lexicographic
+    traversal places spatially adjacent blocks ``extended_counts`` apart,
+    so the *effective* minimum ``d_l`` grows; this helper returns that
+    distance for diagnostics and the autotuner.
+    """
+    counts = decomp.extended_counts
+    tiled = decomp.tiled_dims
+    if not tiled:
+        return 1
+    # Stride of one step along the slowest tiled dimension.
+    strides = (counts[1] * counts[2], counts[2], 1)
+    return max(strides[d] for d in tiled)

@@ -1,0 +1,293 @@
+"""Storage schemes: where a cell's value at time level ``u`` lives.
+
+Two schemes from the paper:
+
+* **Two-grid** (classic Jacobi): grids A and B written in turn; a value at
+  level ``u`` lives in array ``u % 2``.  A neighbor read of level ``v`` is
+  legal iff the neighbor's current level is ``v`` or ``v+1`` — one level
+  higher is fine because that update wrote the *other* array.  This
+  "two-buffer window" is exactly what the one-cell shift of the pipelined
+  schedule guarantees, and the storage validates it on every gather.
+
+* **Compressed grid** (Sect. 1.3): one grid; every update writes shifted by
+  one cell along the tiled dimensions, alternate passes shift back,
+  "saving nearly half the memory and lessening the bandwidth
+  requirements".  A value of cell ``c`` at level ``v`` lives at position
+  ``c + off(v)``.  The storage tracks, per position, which level last
+  wrote it; a gather asserts the position still holds the requested level,
+  so any schedule that would clobber live data is caught deterministically.
+
+Both schemes patch stencil reads that fall outside the stored domain with
+Dirichlet boundary values, replacing ghost-cell copies (see
+:mod:`repro.grid.grid3d`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..grid.grid3d import Grid3D
+from ..grid.region import Box
+
+__all__ = ["StorageError", "TwoGridStorage", "CompressedStorage", "make_storage"]
+
+
+class StorageError(RuntimeError):
+    """A storage-level legality violation (illegal schedule detected)."""
+
+
+class _StorageBase:
+    """Shared machinery: level tracking, boundary patching, injection."""
+
+    def __init__(self, grid: Grid3D, field: np.ndarray, validate: bool = True) -> None:
+        if field.shape != grid.shape:
+            raise ValueError(f"field shape {field.shape} != grid shape {grid.shape}")
+        self.grid = grid
+        self.domain = grid.domain
+        self.validate = bool(validate)
+        #: Current time level of every interior cell.
+        self.levels = np.zeros(grid.shape, dtype=np.int64)
+
+    # -- interface implemented by subclasses -------------------------------------
+
+    def _read_inside(self, box: Box, level: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def write(self, region: Box, level: int, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def extract_region(self, box: Box, level: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def inject(self, box: Box, level: int, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # -- common operations ---------------------------------------------------------
+
+    def extract(self, level: int) -> np.ndarray:
+        """The whole interior at a uniform time level."""
+        return self.extract_region(self.domain, level)
+
+    def gather(self, region: Box, off: Tuple[int, int, int], level: int) -> np.ndarray:
+        """Values of the cells ``region + off`` at time ``level``.
+
+        The part of the shifted box inside the stored domain is read from
+        the scheme's arrays (with legality validation); the part outside —
+        at most a one-cell slab, since ``region`` lies inside the domain
+        and ``|off| = 1`` — is patched with Dirichlet values.
+        """
+        if region.is_empty:
+            return np.empty(region.shape, dtype=self.grid.dtype)
+        if self.validate and not self.domain.contains_box(region):
+            raise StorageError(f"gather region {region} outside stored domain")
+        nb = region.shift(off)
+        inside = nb.intersect(self.domain)
+        if inside == nb:
+            return self._read_inside(nb, level)
+        out = np.empty(nb.shape, dtype=self.grid.dtype)
+        if not inside.is_empty:
+            rel = tuple(slice(inside.lo[d] - nb.lo[d], inside.hi[d] - nb.lo[d])
+                        for d in range(3))
+            out[rel] = self._read_inside(inside, level)
+        dim = next(d for d in range(3) if off[d] != 0)
+        side = 1 if off[dim] > 0 else -1
+        if side < 0:
+            face = Box(nb.lo, tuple(
+                self.domain.lo[d] if d == dim else nb.hi[d] for d in range(3)))
+        else:
+            face = Box(tuple(
+                self.domain.hi[d] if d == dim else nb.lo[d] for d in range(3)), nb.hi)
+        if not face.is_empty:
+            rel = tuple(slice(face.lo[d] - nb.lo[d], face.hi[d] - nb.lo[d])
+                        for d in range(3))
+            out[rel] = self.grid.boundary.values_for_face(
+                dim, side, face, dtype=self.grid.dtype)
+        return out
+
+    def check_uniform_level(self, box: Box, level: int) -> None:
+        """Raise unless every cell of ``box`` sits at exactly ``level``."""
+        sl = box.slices()
+        if not bool(np.all(self.levels[sl] == level)):
+            seen = np.unique(self.levels[sl])
+            raise StorageError(
+                f"cells in {box} expected uniformly at level {level}, "
+                f"found levels {seen.tolist()}"
+            )
+
+    def _pre_write_check(self, region: Box, level: int, values: np.ndarray) -> None:
+        if region.is_empty:
+            return
+        if values.shape != region.shape:
+            raise StorageError(
+                f"write values shape {values.shape} != region shape {region.shape}")
+        if self.validate:
+            if not self.domain.contains_box(region):
+                raise StorageError(f"write region {region} outside stored domain")
+            self.check_uniform_level(region, level - 1)
+
+
+class TwoGridStorage(_StorageBase):
+    """Separate grids A and B, written in turn (Sect. 1.1 baseline layout)."""
+
+    n_arrays = 2
+
+    def __init__(self, grid: Grid3D, field: np.ndarray, validate: bool = True) -> None:
+        super().__init__(grid, field, validate)
+        a = np.ascontiguousarray(field.astype(grid.dtype, copy=True))
+        b = np.full(grid.shape, np.nan, dtype=grid.dtype)
+        self._arrays = [a, b]
+
+    def _read_inside(self, box: Box, level: int) -> np.ndarray:
+        if self.validate:
+            lv = self.levels[box.slices()]
+            ok = np.logical_or(lv == level, lv == level + 1)
+            if not bool(np.all(ok)):
+                bad = np.unique(lv[~ok])
+                raise StorageError(
+                    f"two-buffer violation reading {box} at level {level}: "
+                    f"cells present at levels {bad.tolist()} (window is "
+                    f"[{level}, {level + 1}])"
+                )
+        return self._arrays[level % 2][box.slices()]
+
+    def write(self, region: Box, level: int, values: np.ndarray) -> None:
+        """Commit the update ``level-1 -> level`` on ``region``."""
+        self._pre_write_check(region, level, values)
+        if region.is_empty:
+            return
+        self._arrays[level % 2][region.slices()] = values
+        self.levels[region.slices()] = level
+
+    def extract_region(self, box: Box, level: int) -> np.ndarray:
+        """Copy out ``box`` at a uniform ``level`` (validated)."""
+        if self.validate:
+            self.check_uniform_level(box, level)
+        return self._arrays[level % 2][box.slices()].copy()
+
+    def inject(self, box: Box, level: int, values: np.ndarray) -> None:
+        """Overwrite ``box`` with externally produced values at ``level``.
+
+        Used by the multi-halo exchange: ghost cells receive the neighbor
+        rank's fully updated values, jumping their level forward.
+        """
+        if values.shape != box.shape:
+            raise StorageError("inject shape mismatch")
+        self._arrays[level % 2][box.slices()] = values
+        self.levels[box.slices()] = level
+
+    @property
+    def array_bytes(self) -> int:
+        """Bytes held by the value arrays (two full grids)."""
+        return sum(a.nbytes for a in self._arrays)
+
+
+class CompressedStorage(_StorageBase):
+    """Single compressed grid with alternating shift direction (Sect. 1.3).
+
+    Parameters
+    ----------
+    shift_vec:
+        Unit vector with 1 in each shifted (tiled) dimension; comes from
+        the block decomposition.
+    updates_per_pass:
+        ``n*t*T``; offsets accumulate to this within a pass and unwind in
+        the next ("alternate team sweeps shift by (-1,-1,-1) and
+        (+1,+1,+1)").
+    """
+
+    n_arrays = 1
+
+    def __init__(self, grid: Grid3D, field: np.ndarray,
+                 shift_vec: Tuple[int, int, int], updates_per_pass: int,
+                 validate: bool = True) -> None:
+        super().__init__(grid, field, validate)
+        if updates_per_pass < 1:
+            raise ValueError("updates_per_pass must be >= 1")
+        if any(v not in (0, 1) for v in shift_vec) or not any(shift_vec):
+            raise ValueError(f"bad shift vector {shift_vec!r}")
+        self.shift_vec = tuple(int(v) for v in shift_vec)
+        self.updates_per_pass = int(updates_per_pass)
+        self.margin = tuple(self.updates_per_pass * v for v in self.shift_vec)
+        store_shape = tuple(grid.shape[d] + self.margin[d] for d in range(3))
+        self._array = np.full(store_shape, np.nan, dtype=grid.dtype)
+        #: Level that last wrote each storage position (-1 = never).
+        self._pos_level = np.full(store_shape, -1, dtype=np.int64)
+        init_sl = self.domain.slices(self.margin)
+        self._array[init_sl] = field
+        self._pos_level[init_sl] = 0
+
+    def offset_scalar(self, level: int) -> int:
+        """Cumulative shift (<= 0) of level ``level`` along shifted dims."""
+        if level < 0:
+            raise ValueError("negative level")
+        p, r = divmod(level, self.updates_per_pass)
+        return -r if p % 2 == 0 else -(self.updates_per_pass - r)
+
+    def offset_vec(self, level: int) -> Tuple[int, int, int]:
+        """Per-dimension storage offset of time level ``level``."""
+        o = self.offset_scalar(level)
+        return tuple(o * v for v in self.shift_vec)  # type: ignore[return-value]
+
+    def _pos_slices(self, box: Box, level: int) -> Tuple[slice, slice, slice]:
+        shifted = box.shift(self.offset_vec(level))
+        return shifted.slices(self.margin)
+
+    def _read_inside(self, box: Box, level: int) -> np.ndarray:
+        sl = self._pos_slices(box, level)
+        if self.validate:
+            pl = self._pos_level[sl]
+            if not bool(np.all(pl == level)):
+                bad = np.unique(pl[pl != level])
+                raise StorageError(
+                    f"compressed-grid violation reading {box} at level {level}: "
+                    f"positions hold levels {bad.tolist()} — a later write "
+                    "clobbered live data or the value was never produced"
+                )
+        return self._array[sl]
+
+    def write(self, region: Box, level: int, values: np.ndarray) -> None:
+        """Commit the update ``level-1 -> level``, writing shifted positions."""
+        self._pre_write_check(region, level, values)
+        if region.is_empty:
+            return
+        sl = self._pos_slices(region, level)
+        self._array[sl] = values
+        self._pos_level[sl] = level
+        self.levels[region.slices()] = level
+
+    def extract_region(self, box: Box, level: int) -> np.ndarray:
+        """Copy out ``box`` at a uniform ``level`` from shifted positions."""
+        if self.validate:
+            self.check_uniform_level(box, level)
+            pl = self._pos_level[self._pos_slices(box, level)]
+            if not bool(np.all(pl == level)):
+                raise StorageError("extract positions do not hold the requested level")
+        return self._array[self._pos_slices(box, level)].copy()
+
+    def inject(self, box: Box, level: int, values: np.ndarray) -> None:
+        """Overwrite ``box`` at ``level`` (ghost updates for distributed runs)."""
+        if values.shape != box.shape:
+            raise StorageError("inject shape mismatch")
+        sl = self._pos_slices(box, level)
+        self._array[sl] = values
+        self._pos_level[sl] = level
+        self.levels[box.slices()] = level
+
+    @property
+    def array_bytes(self) -> int:
+        """Bytes held by the (single) value array, margin included."""
+        return self._array.nbytes
+
+
+def make_storage(scheme: str, grid: Grid3D, field: np.ndarray,
+                 shift_vec: Tuple[int, int, int], updates_per_pass: int,
+                 validate: bool = True):
+    """Factory used by the pipeline front-end."""
+    if scheme == "twogrid":
+        return TwoGridStorage(grid, field, validate=validate)
+    if scheme == "compressed":
+        return CompressedStorage(grid, field, shift_vec, updates_per_pass,
+                                 validate=validate)
+    raise ValueError(f"unknown storage scheme {scheme!r}")

@@ -1,0 +1,136 @@
+"""Synchronisation policies as readiness predicates over progress counters.
+
+Both execution rails share these semantics:
+
+* the *functional* executor (:mod:`repro.core.executor`) asks "which
+  threads may start their next block now?" to enumerate legal
+  interleavings;
+* the *performance* simulator (:mod:`repro.sim.threadsim`) asks the same
+  question to decide when a simulated thread unblocks.
+
+A policy sees the per-stage progress counters ``c`` (blocks completed in
+the current pass) plus which stages have finished their traversal, and
+answers readiness per stage.  This mirrors the paper's volatile-counter
+protocol: "only thread t_i updates its own counter c_i; all others read
+its updated value by means of the standard cache coherence mechanisms".
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+from .parameters import BarrierSpec, PipelineConfig, RelaxedSpec, SyncSpec
+
+__all__ = ["SyncPolicy", "BarrierPolicy", "RelaxedPolicy", "make_policy"]
+
+
+class SyncPolicy(Protocol):
+    """Protocol for synchronisation policies."""
+
+    def ready(self, stage: int, counters: Sequence[int], finished: Sequence[bool]) -> bool:
+        """May ``stage`` start its next block given counters/finish flags?"""
+        ...
+
+    def blockers(self, stage: int, counters: Sequence[int], finished: Sequence[bool]) -> List[int]:
+        """Stages whose counter must change before ``stage`` becomes ready.
+
+        Used by the event-driven simulator to know which counter updates to
+        wake on, and by deadlock diagnostics.
+        """
+        ...
+
+
+class BarrierPolicy:
+    """Global barrier after each block update (Fig. 1).
+
+    The threads run *staggered*: stage ``s`` trails stage ``s-1`` by
+    exactly one block, so stage ``s`` processes its block ``k`` in global
+    round ``k + s`` ("the distance is kept constant by imposing a global
+    barrier across all threads after each block update", Sect. 1.3).  A
+    stage is ready iff its next round equals the minimum outstanding
+    round.  Within a round the block operations are mutually independent
+    (each stage's reads were produced in strictly earlier rounds), so any
+    intra-round execution order is legal — which the adversarial
+    interleaving tests exercise.
+    """
+
+    def __init__(self, n_stages: int) -> None:
+        if n_stages < 1:
+            raise ValueError("need at least one stage")
+        self.n_stages = n_stages
+
+    def _round(self, stage: int, counters: Sequence[int]) -> int:
+        return counters[stage] + stage
+
+    def ready(self, stage: int, counters: Sequence[int], finished: Sequence[bool]) -> bool:
+        """Ready iff this stage sits at the current barrier round."""
+        rounds = [self._round(s, counters) for s in range(self.n_stages)
+                  if not finished[s]]
+        return self._round(stage, counters) == min(rounds)
+
+    def blockers(self, stage: int, counters: Sequence[int], finished: Sequence[bool]) -> List[int]:
+        """All stages still working on earlier rounds."""
+        me = self._round(stage, counters)
+        return [s for s in range(self.n_stages)
+                if not finished[s] and self._round(s, counters) < me]
+
+
+class RelaxedPolicy:
+    """Relaxed synchronisation, Eq. 3 of the paper.
+
+    Thread ``i`` may start its next block iff
+    ``c_{i-1} - c_i >= d_l(i)`` and ``c_i - c_{i+1} <= d_u(i)`` where the
+    per-stage bounds include the team delay on team boundaries:
+    ``d_l(i) = d_l + d_t`` on a team's front thread (except the overall
+    front) and ``d_u(i) = d_u + d_t`` on a team's rear thread (except the
+    overall rear).  The overall front/rear threads ignore the first/second
+    condition respectively, and a finished predecessor counts as infinitely
+    far ahead (drain waiver; see :class:`repro.core.parameters.RelaxedSpec`).
+    """
+
+    def __init__(self, config: PipelineConfig) -> None:
+        spec = config.sync
+        if not isinstance(spec, RelaxedSpec):
+            raise TypeError("RelaxedPolicy requires a RelaxedSpec config")
+        self.n_stages = config.n_stages
+        self.d_l_eff: List[int] = []
+        self.d_u_eff: List[int] = []
+        for s in range(self.n_stages):
+            dl = spec.d_l
+            du = spec.d_u
+            if config.is_team_front(s) and s > 0:
+                dl += spec.team_delay
+            if config.is_team_rear(s) and s < self.n_stages - 1:
+                du += spec.team_delay
+            self.d_l_eff.append(dl)
+            self.d_u_eff.append(du)
+
+    def ready(self, stage: int, counters: Sequence[int], finished: Sequence[bool]) -> bool:
+        """Eq. 3 as a precondition for starting the next block."""
+        if stage > 0 and not finished[stage - 1]:
+            if counters[stage - 1] - counters[stage] < self.d_l_eff[stage]:
+                return False
+        if stage < self.n_stages - 1:
+            if counters[stage] - counters[stage + 1] > self.d_u_eff[stage]:
+                return False
+        return True
+
+    def blockers(self, stage: int, counters: Sequence[int], finished: Sequence[bool]) -> List[int]:
+        """The neighbor stages currently holding this stage back."""
+        out: List[int] = []
+        if stage > 0 and not finished[stage - 1]:
+            if counters[stage - 1] - counters[stage] < self.d_l_eff[stage]:
+                out.append(stage - 1)
+        if stage < self.n_stages - 1:
+            if counters[stage] - counters[stage + 1] > self.d_u_eff[stage]:
+                out.append(stage + 1)
+        return out
+
+
+def make_policy(config: PipelineConfig) -> SyncPolicy:
+    """Instantiate the policy matching ``config.sync``."""
+    if isinstance(config.sync, BarrierSpec):
+        return BarrierPolicy(config.n_stages)
+    if isinstance(config.sync, RelaxedSpec):
+        return RelaxedPolicy(config)
+    raise TypeError(f"unknown sync spec {config.sync!r}")

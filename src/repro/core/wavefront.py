@@ -1,0 +1,85 @@
+"""Wavefront temporal blocking — the comparison baseline of ref. [2].
+
+The paper positions pipelined blocking against the earlier *wavefront*
+method (Wellein et al., COMPSAC 2009): there, the ``t`` threads of a
+cache group follow each other through the domain one time level apart —
+structurally the pipelined scheme with ``T = 1`` — but the published
+wavefront implementation incurs **boundary copies** between the
+wavefront fronts ("Compared to the wavefront technique, it does not
+incur extra work or boundary copies", Sect. 1.3).
+
+Functionally the wavefront therefore maps onto the pipelined executor
+with ``T = 1`` (and the tests assert it reproduces the reference);
+performance-wise the boundary-copy overhead is charged as extra
+shared-cache traffic proportional to the block's surface layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..machine.topology import MachineSpec
+from ..sim.costmodel import CodeBalance, W
+from .parameters import PipelineConfig, RelaxedSpec, SyncSpec
+
+__all__ = ["wavefront_config", "wavefront_balance", "compare_wavefront"]
+
+
+def wavefront_config(threads: int, block_size: Tuple[int, int, int],
+                     sync: SyncSpec | None = None,
+                     passes: int = 1) -> PipelineConfig:
+    """The wavefront scheme as a pipeline: one team, T = 1.
+
+    Each thread performs exactly one time level per block — the moving
+    wavefront of ref. [2].
+    """
+    return PipelineConfig(teams=1, threads_per_team=threads,
+                          updates_per_thread=1, block_size=block_size,
+                          sync=sync or RelaxedSpec(1, 2),
+                          storage="twogrid", passes=passes)
+
+
+def wavefront_balance(block_size: Tuple[int, int, int],
+                      copy_layers: int = 2) -> CodeBalance:
+    """Code balance including the wavefront's boundary-copy traffic.
+
+    ``copy_layers`` boundary layers are copied per update between the
+    wavefront fronts; the extra bytes are charged to the shared cache as
+    a per-update surcharge proportional to the surface-to-volume ratio of
+    the block.
+    """
+    bz, by, bx = block_size
+    cells = bz * by * bx
+    surface = cells - max(0, bz - 2) * max(0, by - 2) * max(0, bx - 2)
+    extra = 2 * W * copy_layers * surface / cells  # read + write per copy
+    base = CodeBalance.pipelined("twogrid")
+    return CodeBalance(
+        name=f"wavefront(copies={copy_layers})",
+        mem_load_bpc=base.mem_load_bpc,
+        mem_writeback_bpc=base.mem_writeback_bpc,
+        cache_bpc_update=base.cache_bpc_update + extra,
+        resident_arrays=base.resident_arrays,
+    )
+
+
+def compare_wavefront(machine: MachineSpec,
+                      shape: Sequence[int] = (300, 300, 300),
+                      block_size: Tuple[int, int, int] = (20, 20, 120),
+                      ) -> Tuple[float, float]:
+    """(wavefront MLUP/s, pipelined MLUP/s) on one cache group.
+
+    Same thread count and block geometry; the pipelined variant uses
+    T = 2 and the compressed grid (its two structural advantages).
+    """
+    from ..sim.des_pipeline import simulate_pipelined  # late: avoid cycle
+
+    t = machine.cores_per_socket
+    wf_cfg = wavefront_config(t, block_size)
+    wf = simulate_pipelined(machine, wf_cfg, shape,
+                            balance=wavefront_balance(block_size)).mlups
+    pipe_cfg = PipelineConfig(teams=1, threads_per_team=t,
+                              updates_per_thread=2, block_size=block_size,
+                              sync=RelaxedSpec(1, 4), storage="compressed")
+    pipe = simulate_pipelined(machine, pipe_cfg, shape).mlups
+    return wf, pipe

@@ -1,0 +1,193 @@
+"""Block decomposition and traversal for (temporal) blocking schemes.
+
+The pipelined scheme walks the domain block by block in lexicographic
+traversal order.  Each pipeline stage ``s`` performs updates
+``u = s*T+1 .. (s+1)*T`` on every block, and the update-``u`` region of a
+block is the block box shifted by ``-(u-1)`` cells along each *tiled*
+dimension (Sect. 1.3: "Shifting the block by one cell in each direction
+after an update").  Because of the shift, the traversal must be extended
+past the last real block so that the trailing (clipped) regions drain the
+high end of the domain; :class:`BlockDecomposition` computes the extension
+from the maximum shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .region import Box
+
+__all__ = ["BlockDecomposition", "block_count"]
+
+
+def block_count(extent: int, block: int) -> int:
+    """Number of blocks of size ``block`` needed to tile ``extent`` cells."""
+    if block < 1:
+        raise ValueError("block size must be >= 1")
+    return -(-extent // block)
+
+
+@dataclass(frozen=True)
+class BlockDecomposition:
+    """Tiling of a 3-D domain into blocks, with shift-aware traversal.
+
+    Parameters
+    ----------
+    domain:
+        The interior box being updated (usually ``grid.domain``; for
+        distributed trapezoids, the maximal active region).
+    block_size:
+        Block extents ``(bz, by, bx)``.  An entry that equals or exceeds
+        the domain extent makes that dimension *untiled* (a single block
+        spans it and no shift is applied there).
+    max_shift:
+        The largest region shift the schedule will request, i.e.
+        ``n_stages * T - 1`` for a pipeline of that depth.  Determines how
+        many drain blocks extend the traversal.
+    """
+
+    domain: Box
+    block_size: Tuple[int, int, int]
+    max_shift: int = 0
+
+    def __post_init__(self) -> None:
+        if self.domain.is_empty:
+            raise ValueError("cannot decompose an empty domain")
+        if any(int(b) < 1 for b in self.block_size):
+            raise ValueError(f"block sizes must be >= 1, got {self.block_size}")
+        if self.max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        object.__setattr__(self, "block_size",
+                           tuple(int(b) for b in self.block_size))
+
+    # -- derived geometry -------------------------------------------------------
+
+    @property
+    def extents(self) -> Tuple[int, int, int]:
+        """Domain edge lengths."""
+        return self.domain.shape
+
+    @property
+    def tiled_dims(self) -> Tuple[int, ...]:
+        """Dimensions actually cut into more than one block (shifted dims)."""
+        return tuple(d for d in range(3)
+                     if self.block_size[d] < self.extents[d])
+
+    @property
+    def shift_vec(self) -> Tuple[int, int, int]:
+        """Unit shift vector: 1 in each tiled dimension, 0 elsewhere."""
+        tiled = set(self.tiled_dims)
+        return tuple(1 if d in tiled else 0 for d in range(3))  # type: ignore[return-value]
+
+    @property
+    def base_counts(self) -> Tuple[int, int, int]:
+        """Blocks per dimension without drain extension."""
+        return tuple(block_count(self.extents[d], self.block_size[d])
+                     for d in range(3))  # type: ignore[return-value]
+
+    @property
+    def extended_counts(self) -> Tuple[int, int, int]:
+        """Blocks per dimension including drain blocks for the max shift.
+
+        Along a tiled dimension the last region at shift ``S`` is
+        ``[k*b - S, (k+1)*b - S)``; it still intersects the domain while
+        ``k*b - S < n``, so blocks run up to ``ceil((n + S) / b) - 1``.
+        """
+        out = []
+        for d in range(3):
+            n, b = self.extents[d], self.block_size[d]
+            if self.block_size[d] < n:
+                out.append(block_count(n + self.max_shift, b))
+            else:
+                out.append(block_count(n, b))
+        return tuple(out)  # type: ignore[return-value]
+
+    @property
+    def n_traversal_blocks(self) -> int:
+        """Total traversal length (shared by every pipeline stage)."""
+        c = self.extended_counts
+        return c[0] * c[1] * c[2]
+
+    @property
+    def n_base_blocks(self) -> int:
+        """Number of real (unshifted) blocks tiling the domain."""
+        c = self.base_counts
+        return c[0] * c[1] * c[2]
+
+    # -- block boxes ------------------------------------------------------------
+
+    def block_index(self, traversal_idx: int) -> Tuple[int, int, int]:
+        """Map a linear traversal index to a block index triple (z-major)."""
+        c = self.extended_counts
+        if not (0 <= traversal_idx < c[0] * c[1] * c[2]):
+            raise IndexError(f"traversal index {traversal_idx} out of range")
+        k2 = traversal_idx % c[2]
+        rest = traversal_idx // c[2]
+        k1 = rest % c[1]
+        k0 = rest // c[1]
+        return (k0, k1, k2)
+
+    def block_box(self, k: Sequence[int]) -> Box:
+        """The *unshifted* box of block ``k`` (not clipped to the domain).
+
+        Drain blocks lie partially or fully above the domain; clipping
+        happens after the shift, in :meth:`region`.
+        """
+        lo = tuple(self.domain.lo[d] + k[d] * self.block_size[d] for d in range(3))
+        hi = tuple(lo[d] + self.block_size[d] for d in range(3))
+        return Box(lo, hi)  # type: ignore[arg-type]
+
+    def region(self, traversal_idx: int, shift: int,
+               active: Optional[Box] = None, mirror: bool = False) -> Box:
+        """Update region: block box shifted by ``-shift`` along tiled dims.
+
+        The result is clipped to ``active`` (defaults to the domain).  This
+        is the geometric core of the scheme; everything else — coverage,
+        two-buffer legality, no-boundary-copies — follows from it and is
+        machine-checked by the executor.
+
+        ``mirror=True`` reflects the region about the domain centre along
+        the tiled dimensions.  This realises the paper's "reverse loops
+        (running from large to small indices) on all even sweeps" for the
+        compressed grid: traversal index 0 then starts at the *high* end
+        and regions shift upward, matching the unwinding storage offsets.
+        """
+        if shift < 0 or shift > self.max_shift:
+            raise ValueError(f"shift {shift} outside [0, {self.max_shift}]")
+        k = self.block_index(traversal_idx)
+        vec = self.shift_vec
+        box = self.block_box(k).shift(tuple(-shift * vec[d] for d in range(3)))
+        if mirror:
+            box = self._mirror(box)
+        return box.intersect(active if active is not None else self.domain)
+
+    def _mirror(self, box: Box) -> Box:
+        """Reflect a box about the domain centre along tiled dimensions."""
+        lo = list(box.lo)
+        hi = list(box.hi)
+        for d in self.tiled_dims:
+            span = self.domain.lo[d] + self.domain.hi[d]
+            lo[d], hi[d] = span - box.hi[d], span - box.lo[d]
+        return Box(tuple(lo), tuple(hi))  # type: ignore[arg-type]
+
+    def level_regions(self, shift: int, active: Optional[Box] = None,
+                      mirror: bool = False) -> List[Box]:
+        """All (non-empty) regions of one shift level, for partition checks."""
+        out = []
+        for idx in range(self.n_traversal_blocks):
+            r = self.region(idx, shift, active, mirror)
+            if not r.is_empty:
+                out.append(r)
+        return out
+
+    def iter_traversal(self) -> Iterator[int]:
+        """Linear traversal indices in pipeline order."""
+        return iter(range(self.n_traversal_blocks))
+
+    # -- sizes for cost models -----------------------------------------------------
+
+    def block_bytes(self, itemsize: int = 8, arrays: int = 1) -> int:
+        """Nominal bytes of one (full) block for one or more field arrays."""
+        b = self.block_size
+        return b[0] * b[1] * b[2] * itemsize * arrays

@@ -1,0 +1,139 @@
+"""Jacobi stencils and the vectorised single-sweep kernel.
+
+Eq. 1 of the paper::
+
+    B[i,j,k] = 1/6 * (A[i-1,j,k] + A[i+1,j,k] + A[i,j-1,k]
+                      + A[i,j+1,k] + A[i,j,k-1] + A[i,j,k+1])
+
+This module provides ready-made :class:`~repro.kernels.stencils.StarStencil`
+instances plus the plain vectorised sweep used by the reference solver and
+the host micro-benchmarks.  The sweep includes the optional spatial blocking
+of the baseline code (Sect. 1.1) — pure traversal reordering that never
+changes results, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..grid.region import Box
+from .stencils import StarStencil
+
+__all__ = [
+    "jacobi7",
+    "jacobi5_2d",
+    "anisotropic_jacobi",
+    "jacobi_sweep_padded",
+    "jacobi_sweep_blocked",
+]
+
+
+def jacobi7() -> StarStencil:
+    """The paper's 7-point Jacobi stencil (Eq. 1): mean of the 6 neighbors."""
+    w = 1.0 / 6.0
+    return StarStencil(
+        weights={
+            (-1, 0, 0): w, (1, 0, 0): w,
+            (0, -1, 0): w, (0, 1, 0): w,
+            (0, 0, -1): w, (0, 0, 1): w,
+        },
+        center_weight=0.0,
+        name="jacobi7",
+    )
+
+
+def jacobi5_2d() -> StarStencil:
+    """A 2-D 5-point Jacobi embedded in 3-D (no z coupling).
+
+    Useful for cheap tests and for the 2-D illustration of Fig. 1.
+    """
+    w = 0.25
+    return StarStencil(
+        weights={
+            (0, -1, 0): w, (0, 1, 0): w,
+            (0, 0, -1): w, (0, 0, 1): w,
+        },
+        center_weight=0.0,
+        name="jacobi5-2d",
+    )
+
+
+def anisotropic_jacobi(wz: float, wy: float, wx: float) -> StarStencil:
+    """Axis-weighted Jacobi; weights normalised to sum to one.
+
+    Models anisotropic grids (different mesh spacing per direction) while
+    keeping the convergence property ``sum(w) = 1``.
+    """
+    s = 2.0 * (wz + wy + wx)
+    if s <= 0:
+        raise ValueError("weights must have a positive sum")
+    return StarStencil(
+        weights={
+            (-1, 0, 0): wz / s, (1, 0, 0): wz / s,
+            (0, -1, 0): wy / s, (0, 1, 0): wy / s,
+            (0, 0, -1): wx / s, (0, 0, 1): wx / s,
+        },
+        center_weight=0.0,
+        name=f"jacobi7-aniso({wz:g},{wy:g},{wx:g})",
+    )
+
+
+def jacobi_sweep_padded(src: np.ndarray, dst: Optional[np.ndarray] = None,
+                        stencil: Optional[StarStencil] = None) -> np.ndarray:
+    """One full sweep over the interior of a *padded* array.
+
+    ``src`` has ghost cells (shape ``interior + 2`` per dim); the interior
+    of ``dst`` receives the updated values while ghost cells are copied
+    through unchanged.  This is the memory-bandwidth-shaped kernel that the
+    host micro-benchmark (experiment E10) times.
+    """
+    st = stencil or jacobi7()
+    if dst is None:
+        dst = src.copy()
+    else:
+        np.copyto(dst, src)
+    c = src[1:-1, 1:-1, 1:-1]
+    acc = np.zeros_like(c)
+    for (dz, dy, dx) in st.offsets:
+        w = st.weights[(dz, dy, dx)]
+        sl = (slice(1 + dz, src.shape[0] - 1 + dz),
+              slice(1 + dy, src.shape[1] - 1 + dy),
+              slice(1 + dx, src.shape[2] - 1 + dx))
+        acc += w * src[sl]
+    if st.center_weight != 0.0:
+        acc += st.center_weight * c
+    dst[1:-1, 1:-1, 1:-1] = acc
+    return dst
+
+
+def jacobi_sweep_blocked(src: np.ndarray, dst: np.ndarray,
+                         block: Tuple[int, int, int],
+                         stencil: Optional[StarStencil] = None) -> np.ndarray:
+    """Spatially blocked sweep over a padded array (baseline, Sect. 1.1).
+
+    Traverses the interior in blocks of ``block`` cells (the paper's
+    standard code used ≈ 600×20×20 with a long inner loop).  Spatial
+    blocking only reorders the traversal; the result is identical to
+    :func:`jacobi_sweep_padded`, which the test-suite verifies.
+    """
+    st = stencil or jacobi7()
+    nz, ny, nx = (s - 2 for s in src.shape)
+    np.copyto(dst, src)
+    bz, by, bx = (max(1, int(b)) for b in block)
+    for z0 in range(0, nz, bz):
+        for y0 in range(0, ny, by):
+            for x0 in range(0, nx, bx):
+                z1, y1, x1 = min(z0 + bz, nz), min(y0 + by, ny), min(x0 + bx, nx)
+                c = src[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1]
+                acc = np.zeros_like(c)
+                for (dz, dy, dx) in st.offsets:
+                    w = st.weights[(dz, dy, dx)]
+                    acc += w * src[1 + z0 + dz:1 + z1 + dz,
+                                   1 + y0 + dy:1 + y1 + dy,
+                                   1 + x0 + dx:1 + x1 + dx]
+                if st.center_weight != 0.0:
+                    acc += st.center_weight * c
+                dst[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1] = acc
+    return dst

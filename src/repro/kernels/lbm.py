@@ -1,0 +1,150 @@
+"""D2Q9 lattice-Boltzmann kernel — the paper's motivating follow-on.
+
+Sect. 1.1: the Jacobi solver "serves here as a prototype for more
+advanced stencil-based methods like the lattice-Boltzmann algorithm
+(LBM)", and the outlook announces "a hybrid, temporally blocked lattice
+Boltzmann flow solver based on the principles presented in this work".
+This module provides the flow kernel that solver would block: a BGK
+D2Q9 stream–collide step on two lattices (the same A/B structure the
+Jacobi code uses), with periodic/bounce-back boundaries and a body
+force — enough to run channel (Poiseuille) flow and validate against
+the analytic profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["D2Q9", "LBMState", "poiseuille_profile"]
+
+# Velocity set (c_x, c_y) and weights of D2Q9, rest particle first.
+_EX = np.array([0, 1, 0, -1, 0, 1, -1, -1, 1])
+_EY = np.array([0, 0, 1, 0, -1, 1, 1, -1, -1])
+_W = np.array([4 / 9] + [1 / 9] * 4 + [1 / 36] * 4)
+_OPPOSITE = np.array([0, 3, 4, 1, 2, 7, 8, 5, 6])
+
+
+@dataclass
+class LBMState:
+    """Macroscopic observables of a lattice snapshot."""
+
+    density: np.ndarray
+    ux: np.ndarray
+    uy: np.ndarray
+
+    @property
+    def total_mass(self) -> float:
+        """Total mass (conserved by the collision operator)."""
+        return float(self.density.sum())
+
+
+class D2Q9:
+    """BGK D2Q9 solver on a ``(ny, nx)`` lattice.
+
+    Parameters
+    ----------
+    shape:
+        Lattice extents ``(ny, nx)``.
+    tau:
+        BGK relaxation time (> 0.5 for stability); kinematic viscosity is
+        ``(tau - 0.5) / 3`` in lattice units.
+    body_force:
+        Constant acceleration ``(fx, fy)`` applied via the Guo-less
+        simple velocity-shift forcing (adequate for the small forces of
+        channel flow).
+    walls:
+        Boolean mask of solid nodes (full-way bounce-back); defaults to
+        top/bottom walls (a channel).  Flow is periodic in x.
+    """
+
+    def __init__(self, shape: Tuple[int, int], tau: float = 0.8,
+                 body_force: Tuple[float, float] = (0.0, 0.0),
+                 walls: Optional[np.ndarray] = None) -> None:
+        if tau <= 0.5:
+            raise ValueError("tau must exceed 0.5 for stability")
+        self.ny, self.nx = int(shape[0]), int(shape[1])
+        if self.ny < 3 or self.nx < 1:
+            raise ValueError("lattice too small")
+        self.tau = float(tau)
+        self.fx, self.fy = (float(f) for f in body_force)
+        if walls is None:
+            walls = np.zeros((self.ny, self.nx), dtype=bool)
+            walls[0, :] = True
+            walls[-1, :] = True
+        if walls.shape != (self.ny, self.nx):
+            raise ValueError("walls mask shape mismatch")
+        self.walls = walls
+        rho0 = np.ones((self.ny, self.nx))
+        self.f = self.equilibrium(rho0, np.zeros_like(rho0), np.zeros_like(rho0))
+        self.steps_done = 0
+
+    @property
+    def viscosity(self) -> float:
+        """Kinematic viscosity in lattice units: ``(tau - 1/2)/3``."""
+        return (self.tau - 0.5) / 3.0
+
+    @staticmethod
+    def equilibrium(rho: np.ndarray, ux: np.ndarray, uy: np.ndarray) -> np.ndarray:
+        """The BGK equilibrium distribution for all 9 directions."""
+        feq = np.empty((9,) + rho.shape)
+        usq = 1.5 * (ux * ux + uy * uy)
+        for i in range(9):
+            cu = 3.0 * (_EX[i] * ux + _EY[i] * uy)
+            feq[i] = _W[i] * rho * (1.0 + cu + 0.5 * cu * cu - usq)
+        return feq
+
+    def macroscopic(self) -> LBMState:
+        """Density and velocity fields from the current populations."""
+        rho = self.f.sum(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ux = np.where(rho > 0, (self.f * _EX[:, None, None]).sum(0) / rho, 0.0)
+            uy = np.where(rho > 0, (self.f * _EY[:, None, None]).sum(0) / rho, 0.0)
+        ux = np.where(self.walls, 0.0, ux)
+        uy = np.where(self.walls, 0.0, uy)
+        return LBMState(density=rho, ux=ux, uy=uy)
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` stream–collide steps (two-lattice structure)."""
+        for _ in range(n):
+            state = self.macroscopic()
+            ux = state.ux + self.tau * self.fx          # forcing shift
+            uy = state.uy + self.tau * self.fy
+            feq = self.equilibrium(state.density, ux, uy)
+            post = self.f - (self.f - feq) / self.tau
+            # Bounce-back at solid nodes: reflect pre-streaming populations.
+            for i in range(9):
+                post[i][self.walls] = self.f[_OPPOSITE[i]][self.walls]
+            # Streaming: periodic rolls (the "B grid" of the two-grid pair).
+            new = np.empty_like(post)
+            for i in range(9):
+                new[i] = np.roll(np.roll(post[i], _EY[i], axis=0),
+                                 _EX[i], axis=1)
+            self.f = new
+            self.steps_done += 1
+
+    def run_to_steady(self, max_steps: int = 20000, check_every: int = 200,
+                      tol: float = 1e-9) -> LBMState:
+        """Iterate until the velocity field stops changing."""
+        prev = self.macroscopic().ux
+        for _ in range(0, max_steps, check_every):
+            self.step(check_every)
+            cur = self.macroscopic().ux
+            if float(np.abs(cur - prev).max()) < tol:
+                break
+            prev = cur
+        return self.macroscopic()
+
+
+def poiseuille_profile(ny: int, fx: float, nu: float) -> np.ndarray:
+    """Analytic steady channel profile ``u(y)`` for walls at y=0, ny-1.
+
+    Plane Poiseuille flow: ``u(y) = fx/(2 nu) * y' * (H - y')`` with
+    ``y'`` measured from the lower wall surface (half-way bounce-back
+    places the wall half a cell outside the first fluid node).
+    """
+    H = ny - 2  # fluid layers
+    y = np.arange(1, ny - 1) - 0.5  # wall at -0.5 relative to first fluid row
+    return fx / (2.0 * nu) * y * (H - y)

@@ -1,0 +1,49 @@
+"""Eq. 2: baseline Jacobi performance from STREAM bandwidth.
+
+``P0 = Ms / 16 bytes`` LUP/s — a "perfect" spatially blocked Jacobi with
+non-temporal stores moves 16 bytes per update over the memory bus, so the
+achievable STREAM COPY bandwidth bounds its performance.  On the paper's
+Nehalem node (18.5 GB/s per socket) this gives the quoted expectation of
+2.3 GLUP/s for the whole node.
+"""
+
+from __future__ import annotations
+
+from ..machine.topology import MachineSpec
+
+__all__ = ["P0_BYTES_PER_LUP", "baseline_lups", "code_balance_wf"]
+
+#: Bytes per lattice-site update of the NT-store baseline (8 load + 8 store).
+P0_BYTES_PER_LUP = 16.0
+
+
+def baseline_lups(stream_bandwidth: float, bytes_per_lup: float = P0_BYTES_PER_LUP) -> float:
+    """Eq. 2: expected LUP/s given a STREAM COPY bandwidth in bytes/s."""
+    if stream_bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if bytes_per_lup <= 0:
+        raise ValueError("bytes_per_lup must be positive")
+    return stream_bandwidth / bytes_per_lup
+
+
+def code_balance_wf(words_mem: float, flops: float = 6.0) -> float:
+    """Code balance in words per flop (the paper's ``Bc``).
+
+    The naive kernel with read-for-ownership is ``8/6 W/F``; spatial
+    blocking + NT stores reduce it to ``2/6 = 0.33 W/F`` (three words per
+    update counted as 16 B / 8 B-word halves... the paper states 0.33 W/F
+    for the perfect baseline, i.e. 2 words per 6 flops).
+    """
+    if flops <= 0:
+        raise ValueError("flops must be positive")
+    return words_mem / flops
+
+
+def node_p0(machine: MachineSpec) -> float:
+    """Eq. 2 for a whole node: all sockets' Ms over 16 bytes, in LUP/s."""
+    return baseline_lups(machine.mem_bw_node)
+
+
+def socket_p0(machine: MachineSpec) -> float:
+    """Eq. 2 for one socket, in LUP/s."""
+    return baseline_lups(machine.mem_bw_socket)

@@ -1,0 +1,132 @@
+"""Tests for the shift-aware block decomposition (repro.grid.blocks)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.blocks import BlockDecomposition, block_count
+from repro.grid.region import Box, boxes_partition
+
+
+class TestBlockCount:
+    def test_exact_division(self):
+        assert block_count(12, 4) == 3
+
+    def test_remainder(self):
+        assert block_count(13, 4) == 4
+
+    def test_block_larger_than_extent(self):
+        assert block_count(3, 100) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_count(10, 0)
+
+
+class TestGeometry:
+    def make(self, shape=(16, 8, 8), block=(4, 100, 100), max_shift=3):
+        return BlockDecomposition(Box.from_shape(shape), block, max_shift)
+
+    def test_tiled_dims_slab(self):
+        d = self.make()
+        assert d.tiled_dims == (0,)
+        assert d.shift_vec == (1, 0, 0)
+
+    def test_tiled_dims_2d(self):
+        d = BlockDecomposition(Box.from_shape((16, 16, 8)), (4, 4, 100), 3)
+        assert d.tiled_dims == (0, 1)
+        assert d.shift_vec == (1, 1, 0)
+
+    def test_extension(self):
+        d = self.make(shape=(16, 8, 8), block=(4, 100, 100), max_shift=3)
+        # ceil((16+3)/4) = 5 blocks along z, 1 along y/x.
+        assert d.extended_counts == (5, 1, 1)
+        assert d.base_counts == (4, 1, 1)
+        assert d.n_traversal_blocks == 5
+
+    def test_no_extension_without_shift(self):
+        d = self.make(max_shift=0)
+        assert d.extended_counts == d.base_counts
+
+    def test_block_index_roundtrip(self):
+        d = BlockDecomposition(Box.from_shape((8, 8, 8)), (4, 4, 4), 2)
+        c = d.extended_counts
+        for idx in range(d.n_traversal_blocks):
+            k = d.block_index(idx)
+            lin = (k[0] * c[1] + k[1]) * c[2] + k[2]
+            assert lin == idx
+        with pytest.raises(IndexError):
+            d.block_index(d.n_traversal_blocks)
+
+    def test_region_clipping(self):
+        d = self.make()
+        r = d.region(0, 3)
+        assert r == Box((0, 0, 0), (1, 8, 8))  # [0-3,4-3) clipped -> [0,1)
+        r_last = d.region(4, 3)
+        assert r_last == Box((13, 0, 0), (16, 8, 8))
+
+    def test_region_rejects_bad_shift(self):
+        d = self.make(max_shift=3)
+        with pytest.raises(ValueError):
+            d.region(0, 4)
+        with pytest.raises(ValueError):
+            d.region(0, -1)
+
+    def test_mirror_region(self):
+        d = self.make()
+        fwd = d.region(0, 0)
+        mir = d.region(0, 0, mirror=True)
+        assert mir == Box((12, 0, 0), (16, 8, 8))
+        assert fwd.ncells == mir.ncells
+
+    def test_block_bytes(self):
+        d = BlockDecomposition(Box.from_shape((16, 8, 8)), (4, 8, 8), 0)
+        assert d.block_bytes() == 4 * 8 * 8 * 8
+        assert d.block_bytes(arrays=2) == 2 * 4 * 8 * 8 * 8
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            BlockDecomposition(Box.empty(), (2, 2, 2), 0)
+
+
+class TestCoverageProperties:
+    @given(
+        n=st.integers(4, 30),
+        b=st.integers(1, 8),
+        max_shift=st.integers(0, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_levels_partition_domain_1d(self, n, b, max_shift):
+        dom = Box.from_shape((n, 3, 3))
+        d = BlockDecomposition(dom, (b, 100, 100), max_shift)
+        for shift in range(max_shift + 1):
+            regions = d.level_regions(shift)
+            assert boxes_partition(regions, dom), (n, b, shift)
+
+    @given(
+        nz=st.integers(4, 14),
+        ny=st.integers(4, 14),
+        bz=st.integers(1, 5),
+        by=st.integers(1, 5),
+        max_shift=st.integers(0, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_levels_partition_domain_2d(self, nz, ny, bz, by, max_shift):
+        dom = Box.from_shape((nz, ny, 3))
+        d = BlockDecomposition(dom, (bz, by, 100), max_shift)
+        for shift in range(max_shift + 1):
+            assert boxes_partition(d.level_regions(shift), dom)
+
+    @given(
+        n=st.integers(4, 20),
+        b=st.integers(1, 6),
+        max_shift=st.integers(0, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mirror_levels_partition_domain(self, n, b, max_shift):
+        dom = Box.from_shape((n, 3, 3))
+        d = BlockDecomposition(dom, (b, 100, 100), max_shift)
+        for shift in range(max_shift + 1):
+            assert boxes_partition(d.level_regions(shift, mirror=True), dom)

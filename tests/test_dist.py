@@ -1,0 +1,188 @@
+"""Distributed-memory rail: decomposition, exchange, solver equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid3D, PipelineConfig, RelaxedSpec
+from repro.dist.decomp import CartesianDecomposition
+from repro.dist.simmpi import RankComm, SimMPIError, run_ranks
+from repro.dist.solver import (
+    distributed_jacobi_pipelined,
+    distributed_jacobi_sweeps,
+)
+from repro.grid import DirichletBoundary, random_field
+from repro.kernels import reference_sweeps
+
+RNG = np.random.default_rng(5)
+
+
+class TestDecomp:
+    def test_partition(self):
+        d = CartesianDecomposition((13, 9, 8), (2, 2, 2), 2)
+        d.check_partition()
+
+    def test_rank_coords_roundtrip(self):
+        d = CartesianDecomposition((8, 8, 8), (2, 3, 1), 1)
+        for r in range(d.n_ranks):
+            assert d.coords_rank(d.rank_coords(r)) == r
+
+    def test_neighbors(self):
+        d = CartesianDecomposition((8, 8, 8), (2, 2, 2), 1)
+        assert d.neighbor(0, 0, -1) is None
+        assert d.neighbor(0, 0, 1) == 4
+        assert d.neighbor(0, 2, 1) == 1
+        assert d.neighbor(7, 1, -1) == 5
+
+    def test_stored_clipped_to_domain(self):
+        d = CartesianDecomposition((8, 8, 8), (2, 1, 1), 3)
+        g0 = d.geometry(0)
+        assert g0.stored.lo == (0, 0, 0)
+        assert g0.stored.hi == (7, 8, 8)
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            CartesianDecomposition((4, 4, 4), (5, 1, 1), 1)
+
+
+class TestSimMPI:
+    def test_ring_pass(self):
+        def fn(comm: RankComm, rank: int):
+            data = np.array([float(rank)])
+            nxt = (rank + 1) % comm.size
+            prev = (rank - 1) % comm.size
+            got = comm.sendrecv(nxt, data, prev)
+            return float(got[0])
+
+        out = run_ranks(4, fn)
+        assert out == [3.0, 0.0, 1.0, 2.0]
+
+    def test_gather(self):
+        def fn(comm: RankComm, rank: int):
+            return comm.gather(rank * 10)
+
+        out = run_ranks(3, fn)
+        assert out[0] == [0, 10, 20]
+        assert out[1] is None
+
+    def test_allreduce_max(self):
+        def fn(comm: RankComm, rank: int):
+            return comm.allreduce_max(float(rank))
+
+        assert run_ranks(3, fn) == [2.0, 2.0, 2.0]
+
+    def test_exception_propagates(self):
+        def fn(comm: RankComm, rank: int):
+            if rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises((ValueError, SimMPIError)):
+            run_ranks(2, fn)
+
+    def test_send_copies_arrays(self):
+        def fn(comm: RankComm, rank: int):
+            if rank == 0:
+                a = np.ones(4)
+                comm.send(1, a)
+                a[:] = 99.0
+                return None
+            got = comm.recv(0)
+            return float(got.sum())
+
+        assert run_ranks(2, fn)[1] == 4.0
+
+
+class TestSweepSolver:
+    @pytest.mark.parametrize("proc_grid", [(2, 1, 1), (1, 2, 1), (2, 2, 1),
+                                           (2, 2, 2)])
+    def test_matches_reference_h2(self, proc_grid):
+        grid = Grid3D((12, 10, 8))
+        field = random_field(grid.shape, RNG)
+        res = distributed_jacobi_sweeps(grid, field, proc_grid,
+                                        supersteps=2, halo=2)
+        ref = reference_sweeps(grid, field, 4)
+        np.testing.assert_allclose(res.field, ref, rtol=0, atol=1e-13)
+
+    def test_larger_halo(self):
+        grid = Grid3D((16, 12, 12))
+        field = random_field(grid.shape, RNG)
+        res = distributed_jacobi_sweeps(grid, field, (2, 2, 1),
+                                        supersteps=1, halo=4)
+        ref = reference_sweeps(grid, field, 4)
+        np.testing.assert_allclose(res.field, ref, rtol=0, atol=1e-13)
+
+    def test_corner_data_via_expansion(self):
+        # 2x2x2 grid forces diagonal dependencies through all corners;
+        # h=3 over multiple supersteps stresses the 3-phase expansion.
+        grid = Grid3D((12, 12, 12))
+        field = random_field(grid.shape, RNG)
+        res = distributed_jacobi_sweeps(grid, field, (2, 2, 2),
+                                        supersteps=2, halo=3)
+        ref = reference_sweeps(grid, field, 6)
+        np.testing.assert_allclose(res.field, ref, rtol=0, atol=1e-13)
+
+    def test_nonzero_boundary(self):
+        bc = DirichletBoundary(1.0, faces={(0, -1): -2.0, (1, 1): 3.0})
+        grid = Grid3D((10, 10, 8), boundary=bc)
+        field = random_field(grid.shape, RNG)
+        res = distributed_jacobi_sweeps(grid, field, (2, 2, 1),
+                                        supersteps=2, halo=2)
+        ref = reference_sweeps(grid, field, 4)
+        np.testing.assert_allclose(res.field, ref, rtol=0, atol=1e-13)
+
+    def test_single_rank_degenerate(self):
+        grid = Grid3D((8, 8, 8))
+        field = random_field(grid.shape, RNG)
+        res = distributed_jacobi_sweeps(grid, field, (1, 1, 1),
+                                        supersteps=3, halo=2)
+        ref = reference_sweeps(grid, field, 6)
+        np.testing.assert_allclose(res.field, ref, rtol=0, atol=1e-13)
+
+    def test_halo_thicker_than_core_rejected(self):
+        grid = Grid3D((8, 8, 8))
+        field = random_field(grid.shape, RNG)
+        with pytest.raises(ValueError, match="at least h cells"):
+            distributed_jacobi_sweeps(grid, field, (4, 1, 1),
+                                      supersteps=1, halo=4)
+
+
+class TestHybridPipelinedSolver:
+    def test_matches_reference(self):
+        grid = Grid3D((20, 12, 10))
+        field = random_field(grid.shape, RNG)
+        cfg = PipelineConfig(teams=1, threads_per_team=2, updates_per_thread=2,
+                             block_size=(3, 100, 100),
+                             sync=RelaxedSpec(1, 2), passes=2)
+        res = distributed_jacobi_pipelined(grid, field, (2, 1, 1), cfg)
+        ref = reference_sweeps(grid, field, cfg.total_updates)
+        np.testing.assert_allclose(res.field, ref, rtol=0, atol=1e-13)
+
+    def test_two_teams_across_ranks(self):
+        grid = Grid3D((24, 10, 10))
+        field = random_field(grid.shape, RNG)
+        cfg = PipelineConfig(teams=2, threads_per_team=2, updates_per_thread=1,
+                             block_size=(3, 100, 100),
+                             sync=RelaxedSpec(1, 3), passes=1)
+        res = distributed_jacobi_pipelined(grid, field, (2, 2, 1), cfg)
+        ref = reference_sweeps(grid, field, cfg.total_updates)
+        np.testing.assert_allclose(res.field, ref, rtol=0, atol=1e-13)
+
+    def test_compressed_rejected(self):
+        grid = Grid3D((12, 8, 8))
+        field = random_field(grid.shape, RNG)
+        cfg = PipelineConfig(teams=1, threads_per_team=2, updates_per_thread=1,
+                             block_size=(3, 100, 100), storage="compressed")
+        with pytest.raises(ValueError, match="twogrid"):
+            distributed_jacobi_pipelined(grid, field, (2, 1, 1), cfg)
+
+    def test_message_accounting(self):
+        grid = Grid3D((12, 12, 8))
+        field = random_field(grid.shape, RNG)
+        cfg = PipelineConfig(teams=1, threads_per_team=2, updates_per_thread=1,
+                             block_size=(3, 100, 100), passes=1)
+        res = distributed_jacobi_pipelined(grid, field, (2, 1, 1), cfg)
+        assert res.bytes_exchanged > 0
+        assert res.halo == 2
+        assert res.n_ranks == 2

@@ -1,0 +1,76 @@
+"""Unit tests for the ghost-cell-expansion exchange geometry (Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.decomp import CartesianDecomposition
+from repro.dist.exchange import exchange_plan
+from repro.grid.region import Box
+
+
+def plan_for(rank, shape=(12, 12, 12), grid=(2, 2, 2), h=2):
+    d = CartesianDecomposition(shape, grid, h)
+    return d, d.geometry(rank), exchange_plan(d, d.geometry(rank))
+
+
+class TestPlanGeometry:
+    def test_interior_rank_has_six_exchanges(self):
+        d = CartesianDecomposition((18, 18, 18), (3, 3, 3), 2)
+        geo = d.geometry(13)  # centre rank of 3x3x3
+        plan = exchange_plan(d, geo)
+        assert len(plan) == 6
+
+    def test_corner_rank_has_three(self):
+        d, geo, plan = plan_for(0)
+        assert len(plan) == 3
+        assert all(side == 1 for (_, side, _, _, _) in plan)
+
+    def test_send_box_inside_core_along_dim(self):
+        d, geo, plan = plan_for(0)
+        for (dim, side, peer, send, recv) in plan:
+            assert send.lo[dim] >= geo.core.lo[dim]
+            assert send.hi[dim] <= geo.core.hi[dim]
+            assert send.hi[dim] - send.lo[dim] == d.halo
+
+    def test_recv_box_outside_core(self):
+        d, geo, plan = plan_for(0)
+        for (dim, side, peer, send, recv) in plan:
+            assert recv.intersect(geo.core).is_empty
+
+    def test_send_recv_shapes_match_between_peers(self):
+        d = CartesianDecomposition((12, 12, 12), (2, 2, 2), 2)
+        for rank in range(d.n_ranks):
+            geo = d.geometry(rank)
+            for (dim, side, peer, send, recv) in exchange_plan(d, geo):
+                peer_plan = exchange_plan(d, d.geometry(peer))
+                # The peer's send on the opposite side must equal our recv.
+                match = [s for (dd, ss, pp, s, _) in peer_plan
+                         if dd == dim and ss == -side and pp == rank]
+                assert len(match) == 1
+                assert match[0] == recv
+
+    def test_later_dims_span_expanded_extent(self):
+        d, geo, plan = plan_for(0, grid=(2, 2, 2), h=2)
+        # Phase-2 (x) messages span the stored (ghost-extended) z/y extents.
+        for (dim, side, peer, send, recv) in plan:
+            if dim == 2:
+                assert send.lo[0] == geo.stored.lo[0]
+                assert send.hi[0] == geo.stored.hi[0]
+                assert send.lo[1] == geo.stored.lo[1]
+
+    def test_earlier_dims_span_core_extent(self):
+        d, geo, plan = plan_for(0, grid=(2, 2, 2), h=2)
+        for (dim, side, peer, send, recv) in plan:
+            if dim == 0:
+                assert send.lo[1] == geo.core.lo[1]
+                assert send.hi[1] == geo.core.hi[1]
+
+    def test_thin_core_rejected(self):
+        d = CartesianDecomposition((8, 8, 8), (4, 1, 1), 3)
+        with pytest.raises(ValueError, match="at least h cells"):
+            exchange_plan(d, d.geometry(0))
+
+    def test_single_rank_empty_plan(self):
+        d = CartesianDecomposition((8, 8, 8), (1, 1, 1), 2)
+        assert exchange_plan(d, d.geometry(0)) == []

@@ -1,0 +1,83 @@
+"""Tests for the D2Q9 lattice-Boltzmann kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.lbm import D2Q9, poiseuille_profile
+
+
+class TestBasics:
+    def test_initial_state_at_rest(self):
+        sim = D2Q9((8, 8))
+        st = sim.macroscopic()
+        np.testing.assert_allclose(st.density, 1.0)
+        np.testing.assert_allclose(st.ux, 0.0)
+        np.testing.assert_allclose(st.uy, 0.0)
+
+    def test_viscosity(self):
+        assert D2Q9((8, 8), tau=0.8).viscosity == pytest.approx(0.1)
+        assert D2Q9((8, 8), tau=1.1).viscosity == pytest.approx(0.2)
+
+    def test_rejects_unstable_tau(self):
+        with pytest.raises(ValueError):
+            D2Q9((8, 8), tau=0.5)
+
+    def test_rejects_tiny_lattice(self):
+        with pytest.raises(ValueError):
+            D2Q9((2, 4))
+
+    def test_equilibrium_conserves_moments(self):
+        rng = np.random.default_rng(0)
+        rho = 1.0 + 0.1 * rng.random((4, 4))
+        ux = 0.05 * rng.random((4, 4))
+        uy = 0.05 * rng.random((4, 4))
+        feq = D2Q9.equilibrium(rho, ux, uy)
+        np.testing.assert_allclose(feq.sum(0), rho, rtol=1e-12)
+
+
+class TestConservation:
+    def test_mass_conserved_without_force(self):
+        sim = D2Q9((12, 10), tau=0.9)
+        m0 = sim.macroscopic().total_mass
+        sim.step(50)
+        assert sim.macroscopic().total_mass == pytest.approx(m0, rel=1e-12)
+
+    def test_rest_state_is_fixed_point(self):
+        sim = D2Q9((8, 8), tau=0.7)
+        f0 = sim.f.copy()
+        sim.step(10)
+        np.testing.assert_allclose(sim.f, f0, atol=1e-14)
+
+    def test_walls_stay_at_zero_velocity(self):
+        sim = D2Q9((10, 8), tau=0.8, body_force=(1e-5, 0.0))
+        sim.step(100)
+        st = sim.macroscopic()
+        np.testing.assert_allclose(st.ux[0], 0.0, atol=1e-14)
+        np.testing.assert_allclose(st.ux[-1], 0.0, atol=1e-14)
+
+
+class TestPoiseuille:
+    def test_profile_matches_analytic(self):
+        fx = 1e-6
+        sim = D2Q9((18, 8), tau=0.8, body_force=(fx, 0.0))
+        st = sim.run_to_steady(max_steps=20000, check_every=400, tol=1e-12)
+        profile = st.ux[1:-1, 4]
+        analytic = poiseuille_profile(18, fx, sim.viscosity)
+        err = np.abs(profile - analytic).max() / analytic.max()
+        assert err < 0.03
+
+    def test_profile_symmetric(self):
+        sim = D2Q9((16, 6), tau=0.9, body_force=(1e-6, 0.0))
+        st = sim.run_to_steady(max_steps=15000, check_every=400, tol=1e-12)
+        p = st.ux[1:-1, 3]
+        np.testing.assert_allclose(p, p[::-1], rtol=1e-6)
+
+    def test_velocity_scales_with_force(self):
+        outs = []
+        for fx in (5e-7, 1e-6):
+            sim = D2Q9((14, 6), tau=0.8, body_force=(fx, 0.0))
+            st = sim.run_to_steady(max_steps=15000, check_every=400, tol=1e-13)
+            outs.append(st.ux[7, 3])
+        assert outs[1] == pytest.approx(2 * outs[0], rel=0.02)

@@ -1,0 +1,170 @@
+"""Tests for the machine substrate: topology, cache model, STREAM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    GB,
+    MB,
+    CacheLevel,
+    MachineSpec,
+    SharedCacheModel,
+    core2_quad,
+    future_manycore,
+    get_preset,
+    nehalem_ep,
+    simulated_stream_copy,
+)
+from repro.machine.stream import saturation_curve
+
+
+class TestTopology:
+    def test_nehalem_paper_constants(self):
+        m = nehalem_ep()
+        assert m.sockets == 2 and m.cores_per_socket == 4
+        assert m.mem_bw_socket == pytest.approx(18.5 * GB)
+        assert m.mem_bw_single == pytest.approx(10.0 * GB)
+        assert m.shared_cache.size == 8 * MB
+        assert m.shared_cache.bandwidth == pytest.approx(80 * GB)
+        # Ms/Ms,1 ~ 2, Mc/Ms ~ 4 (Sect. 1.4).
+        assert 1.7 < m.bandwidth_starvation < 2.1
+        assert 3.9 < m.cache_memory_ratio < 4.7
+
+    def test_core_socket_mapping(self):
+        m = nehalem_ep()
+        assert m.core_socket(0) == 0
+        assert m.core_socket(3) == 0
+        assert m.core_socket(4) == 1
+        with pytest.raises(IndexError):
+            m.core_socket(8)
+
+    def test_barrier_cost_grows_across_sockets(self):
+        m = nehalem_ep()
+        assert m.barrier_cost(8, 2) > m.barrier_cost(4, 1)
+        assert m.barrier_cost(8, 2) > 4 * m.barrier_cost(8, 1) * 0.9
+
+    def test_coherence_latency(self):
+        m = nehalem_ep()
+        assert m.coherence_latency(0, 0) < m.coherence_latency(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="Ms,1 cannot exceed"):
+            MachineSpec(
+                name="bad", sockets=1, cores_per_socket=2, clock_hz=2e9,
+                caches=(CacheLevel("L3", 4 * MB, 2, 40 * GB),),
+                mem_bw_socket=10 * GB, mem_bw_single=20 * GB,
+                remote_bw=10 * GB, core_mlups=400e6,
+            )
+        with pytest.raises(ValueError, match="outer cache level"):
+            MachineSpec(
+                name="bad", sockets=1, cores_per_socket=4, clock_hz=2e9,
+                caches=(CacheLevel("L2", 4 * MB, 2, 40 * GB),),
+                mem_bw_socket=10 * GB, mem_bw_single=8 * GB,
+                remote_bw=10 * GB, core_mlups=400e6,
+            )
+
+    def test_presets(self):
+        assert get_preset("core2_quad").name.startswith("Core 2")
+        with pytest.raises(KeyError):
+            get_preset("epyc")
+        # Core 2 is bandwidth-starved, the future chip even more so per-core.
+        assert core2_quad().bandwidth_starvation < 1.2
+        assert future_manycore().cores_per_socket == 16
+
+
+class TestStream:
+    def test_single_thread_capped(self):
+        m = nehalem_ep()
+        r = simulated_stream_copy(m, 1)
+        assert r.bandwidth == pytest.approx(
+            m.mem_bw_single * m.stream_efficiency)
+
+    def test_socket_saturation(self):
+        m = nehalem_ep()
+        r4 = simulated_stream_copy(m, 4)
+        assert r4.bandwidth == pytest.approx(
+            m.mem_bw_socket * m.stream_efficiency)
+
+    def test_node_saturation_compact_fill(self):
+        m = nehalem_ep()
+        r8 = simulated_stream_copy(m, 8)
+        assert r8.bandwidth == pytest.approx(
+            m.mem_bw_node * m.stream_efficiency)
+
+    def test_spread_vs_compact(self):
+        m = nehalem_ep()
+        spread = simulated_stream_copy(m, 2, spread_sockets=True)
+        compact = simulated_stream_copy(m, 2, spread_sockets=False)
+        assert spread.bandwidth > compact.bandwidth  # two controllers active
+
+    def test_curve_monotone(self):
+        m = nehalem_ep()
+        curve = saturation_curve(m)
+        bws = [r.bandwidth for r in curve]
+        assert all(b2 >= b1 - 1e-6 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_invalid_thread_counts(self):
+        m = nehalem_ep()
+        with pytest.raises(ValueError):
+            simulated_stream_copy(m, 0)
+        with pytest.raises(ValueError):
+            simulated_stream_copy(m, 9)
+
+
+class TestCacheModel:
+    def test_hit_and_miss(self):
+        c = SharedCacheModel(1000, usable_fraction=1.0)
+        hit, ev = c.touch("a", 400)
+        assert not hit and not ev
+        hit, ev = c.touch("a", 400)
+        assert hit
+        assert c.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        c = SharedCacheModel(1000, usable_fraction=1.0)
+        c.touch("a", 400)
+        c.touch("b", 400)
+        c.touch("a", 400)        # refresh a -> b is LRU
+        _, ev = c.touch("c", 400)
+        assert [e.key for e in ev] == ["b"]
+
+    def test_dirty_writeback_bytes(self):
+        c = SharedCacheModel(1000, usable_fraction=1.0)
+        c.touch("a", 600, dirty_bytes=300)
+        _, ev = c.touch("b", 600)
+        assert ev[0].dirty_bytes == 300
+
+    def test_oversized_block_streams_alone(self):
+        c = SharedCacheModel(1000, usable_fraction=1.0)
+        c.touch("a", 400)
+        _, ev = c.touch("big", 5000)
+        assert c.contains("big")
+        assert not c.contains("a")
+
+    def test_forced_evict_and_flush(self):
+        c = SharedCacheModel(1000, usable_fraction=1.0)
+        c.touch("a", 300, dirty_bytes=100)
+        c.touch("b", 300)
+        rec = c.evict("a")
+        assert rec is not None and rec.dirty_bytes == 100
+        assert c.evict("a") is None
+        rest = c.flush()
+        assert [e.key for e in rest] == ["b"]
+        assert c.used_bytes == 0
+
+    def test_mark_dirty(self):
+        c = SharedCacheModel(1000, usable_fraction=1.0)
+        c.touch("a", 300)
+        c.mark_dirty("a", 250)
+        _, ev = c.touch("b", 900)
+        assert ev[0].dirty_bytes == 250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedCacheModel(0)
+        with pytest.raises(ValueError):
+            SharedCacheModel(100, usable_fraction=0.0)
+        c = SharedCacheModel(100)
+        with pytest.raises(ValueError):
+            c.touch("a", 0)

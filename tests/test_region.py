@@ -1,0 +1,165 @@
+"""Unit and property tests for the box algebra (repro.grid.region)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.region import Box, bounding_box, boxes_are_disjoint, boxes_partition
+
+
+def boxes(max_coord=12):
+    """Strategy generating (possibly empty) small boxes."""
+    coord = st.integers(-max_coord, max_coord)
+    return st.builds(
+        lambda a, b: Box(tuple(min(x, y) for x, y in zip(a, b)),
+                         tuple(max(x, y) for x, y in zip(a, b))),
+        st.tuples(coord, coord, coord),
+        st.tuples(coord, coord, coord),
+    )
+
+
+class TestBasics:
+    def test_from_shape_and_ncells(self):
+        b = Box.from_shape((3, 4, 5))
+        assert b.ncells == 60
+        assert b.shape == (3, 4, 5)
+        assert not b.is_empty
+
+    def test_empty_box(self):
+        assert Box.empty().is_empty
+        assert Box.empty().ncells == 0
+        assert Box((0, 0, 0), (2, 0, 2)).is_empty
+
+    def test_contains(self):
+        b = Box((1, 1, 1), (4, 4, 4))
+        assert b.contains((1, 1, 1))
+        assert b.contains((3, 3, 3))
+        assert not b.contains((4, 3, 3))
+        assert not b.contains((0, 3, 3))
+
+    def test_contains_box_empty_always(self):
+        assert Box((0, 0, 0), (2, 2, 2)).contains_box(Box.empty())
+
+    def test_shift(self):
+        b = Box((0, 0, 0), (2, 2, 2)).shift((1, -1, 0))
+        assert b == Box((1, -1, 0), (3, 1, 2))
+
+    def test_grow_and_shrink(self):
+        b = Box((2, 2, 2), (4, 4, 4))
+        assert b.grow(1) == Box((1, 1, 1), (5, 5, 5))
+        assert b.grow(-1).is_empty
+        assert b.grow_vec((1, 0, 2)) == Box((1, 2, 0), (5, 4, 6))
+
+    def test_intersect(self):
+        a = Box((0, 0, 0), (4, 4, 4))
+        b = Box((2, 2, 2), (6, 6, 6))
+        assert a.intersect(b) == Box((2, 2, 2), (4, 4, 4))
+        assert a.intersect(Box((5, 5, 5), (6, 6, 6))).is_empty
+
+    def test_surface_cells(self):
+        assert Box.from_shape((3, 3, 3)).surface_cells() == 26
+        assert Box.from_shape((1, 3, 3)).surface_cells() == 9
+        assert Box.empty().surface_cells() == 0
+
+    def test_face_and_outer_face(self):
+        b = Box((0, 0, 0), (4, 4, 4))
+        assert b.face(0, -1) == Box((0, 0, 0), (1, 4, 4))
+        assert b.face(0, 1, width=2) == Box((2, 0, 0), (4, 4, 4))
+        assert b.outer_face(1, 1) == Box((0, 4, 0), (4, 5, 4))
+        assert b.outer_face(2, -1, width=3) == Box((0, 0, -3), (4, 4, 0))
+        with pytest.raises(ValueError):
+            b.face(0, 0)
+        with pytest.raises(ValueError):
+            b.outer_face(0, 2)
+
+    def test_slices_roundtrip(self):
+        arr = np.zeros((6, 6, 6))
+        b = Box((1, 2, 3), (3, 4, 6))
+        arr[b.slices()] = 1.0
+        assert arr.sum() == b.ncells
+
+    def test_slices_with_offset(self):
+        arr = np.zeros((8, 6, 6))
+        b = Box((-2, 0, 0), (0, 6, 6))
+        arr[b.slices((2, 0, 0))] = 1.0
+        assert arr[:2].sum() == b.ncells
+
+    def test_iter_cells(self):
+        b = Box((0, 0, 0), (2, 1, 2))
+        assert list(b.iter_cells()) == [(0, 0, 0), (0, 0, 1), (1, 0, 0), (1, 0, 1)]
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        bs = [Box((0, 0, 0), (1, 1, 1)), Box((3, 3, 3), (5, 4, 4)), Box.empty()]
+        assert bounding_box(bs) == Box((0, 0, 0), (5, 4, 4))
+        assert bounding_box([]).is_empty
+
+    def test_disjoint(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        b = Box((2, 0, 0), (4, 2, 2))
+        assert boxes_are_disjoint([a, b, Box.empty()])
+        assert not boxes_are_disjoint([a, a])
+
+    def test_partition(self):
+        dom = Box.from_shape((4, 2, 2))
+        halves = [Box((0, 0, 0), (2, 2, 2)), Box((2, 0, 0), (4, 2, 2))]
+        assert boxes_partition(halves, dom)
+        assert not boxes_partition(halves[:1], dom)
+        # Overhang outside the domain disqualifies.
+        over = [Box((0, 0, 0), (2, 2, 2)), Box((2, 0, 0), (5, 2, 2))]
+        assert not boxes_partition(over, dom)
+
+
+class TestProperties:
+    @given(boxes(), st.tuples(st.integers(-5, 5), st.integers(-5, 5),
+                              st.integers(-5, 5)))
+    @settings(max_examples=100)
+    def test_shift_preserves_volume(self, b, vec):
+        assert b.shift(vec).ncells == b.ncells
+
+    @given(boxes(), boxes())
+    @settings(max_examples=100)
+    def test_intersection_commutative_and_bounded(self, a, b):
+        i1 = a.intersect(b)
+        i2 = b.intersect(a)
+        assert i1.ncells == i2.ncells
+        assert i1.ncells <= min(a.ncells, b.ncells)
+        assert a.contains_box(i1) or i1.is_empty
+
+    @given(boxes())
+    @settings(max_examples=100)
+    def test_intersect_self_identity(self, b):
+        assert b.intersect(b).ncells == b.ncells
+
+    @given(boxes(), st.integers(0, 4))
+    @settings(max_examples=100)
+    def test_grow_shrink_roundtrip(self, b, k):
+        if not b.is_empty:
+            assert b.grow(k).grow(-k) == b
+
+    @given(boxes(), boxes(), boxes())
+    @settings(max_examples=100)
+    def test_intersection_associative(self, a, b, c):
+        lhs = a.intersect(b).intersect(c)
+        rhs = a.intersect(b.intersect(c))
+        assert lhs.ncells == rhs.ncells
+
+    @given(boxes())
+    @settings(max_examples=100)
+    def test_face_within_box(self, b):
+        for dim in range(3):
+            for side in (-1, 1):
+                f = b.face(dim, side)
+                assert b.contains_box(f) or f.is_empty
+
+    @given(boxes())
+    @settings(max_examples=100)
+    def test_outer_face_disjoint_from_box(self, b):
+        for dim in range(3):
+            for side in (-1, 1):
+                f = b.outer_face(dim, side)
+                assert f.intersect(b).is_empty

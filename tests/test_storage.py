@@ -1,0 +1,186 @@
+"""Tests for the two-grid and compressed-grid storage schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.storage import (
+    CompressedStorage,
+    StorageError,
+    TwoGridStorage,
+    make_storage,
+)
+from repro.grid import Box, DirichletBoundary, Grid3D, random_field
+
+RNG = np.random.default_rng(3)
+
+
+def make_twogrid(shape=(6, 5, 5), bc=None):
+    grid = Grid3D(shape, boundary=bc)
+    field = random_field(shape, RNG)
+    return grid, field, TwoGridStorage(grid, field)
+
+
+class TestTwoGrid:
+    def test_initial_extract(self):
+        grid, field, st = make_twogrid()
+        np.testing.assert_array_equal(st.extract(0), field)
+
+    def test_write_then_extract(self):
+        grid, field, st = make_twogrid()
+        region = grid.domain
+        vals = np.ones(region.shape)
+        st.write(region, 1, vals)
+        np.testing.assert_array_equal(st.extract(1), vals)
+
+    def test_write_requires_previous_level(self):
+        grid, field, st = make_twogrid()
+        with pytest.raises(StorageError):
+            st.write(grid.domain, 2, np.zeros(grid.shape))
+
+    def test_write_shape_mismatch(self):
+        grid, field, st = make_twogrid()
+        with pytest.raises(StorageError):
+            st.write(grid.domain, 1, np.zeros((1, 1, 1)))
+
+    def test_two_buffer_window_ok(self):
+        grid, field, st = make_twogrid()
+        lower = Box((0, 0, 0), (3, 5, 5))
+        st.write(lower, 1, np.zeros(lower.shape))
+        # Reading level 0 next to cells now at level 1 is legal (window).
+        out = st.gather(Box((3, 0, 0), (4, 5, 5)), (-1, 0, 0), 0)
+        np.testing.assert_array_equal(out, np.zeros((1, 5, 5)) + field[2:3] * 0
+                                      + st._arrays[0][2:3])
+
+    def test_two_buffer_violation_detected(self):
+        grid, field, st = make_twogrid()
+        lower = Box((0, 0, 0), (3, 5, 5))
+        st.write(lower, 1, np.zeros(lower.shape))
+        st.write(lower, 2, np.zeros(lower.shape))
+        # Cells at level 2 no longer hold level-0 values.
+        with pytest.raises(StorageError, match="two-buffer"):
+            st.gather(Box((3, 0, 0), (4, 5, 5)), (-1, 0, 0), 0)
+
+    def test_gather_boundary_patch_low_face(self):
+        bc = DirichletBoundary(7.5)
+        grid, field, st = make_twogrid(bc=bc)
+        out = st.gather(Box((0, 0, 0), (1, 5, 5)), (-1, 0, 0), 0)
+        np.testing.assert_array_equal(out, np.full((1, 5, 5), 7.5))
+
+    def test_gather_boundary_patch_high_face(self):
+        bc = DirichletBoundary(0.0, faces={(2, 1): -3.0})
+        grid, field, st = make_twogrid(bc=bc)
+        out = st.gather(Box((0, 0, 3), (6, 5, 5)), (0, 0, 1), 0)
+        # Interior part from the field, last x-plane from the boundary.
+        np.testing.assert_array_equal(out[:, :, -1], np.full((6, 5), -3.0))
+        np.testing.assert_array_equal(out[:, :, 0], field[:, :, 4])
+
+    def test_gather_interior_is_view_fast_path(self):
+        grid, field, st = make_twogrid()
+        box = Box((1, 1, 1), (3, 3, 3))
+        out = st.gather(box, (1, 0, 0), 0)
+        np.testing.assert_array_equal(out, field[2:4, 1:3, 1:3])
+
+    def test_gather_region_outside_domain_rejected(self):
+        grid, field, st = make_twogrid()
+        with pytest.raises(StorageError):
+            st.gather(Box((-1, 0, 0), (1, 5, 5)), (1, 0, 0), 0)
+
+    def test_inject_jumps_level(self):
+        grid, field, st = make_twogrid()
+        box = Box((0, 0, 0), (2, 5, 5))
+        st.inject(box, 5, np.full(box.shape, 2.0))
+        np.testing.assert_array_equal(st.extract_region(box, 5),
+                                      np.full(box.shape, 2.0))
+
+    def test_extract_nonuniform_level_rejected(self):
+        grid, field, st = make_twogrid()
+        st.write(Box((0, 0, 0), (2, 5, 5)), 1, np.zeros((2, 5, 5)))
+        with pytest.raises(StorageError):
+            st.extract(1)
+
+    def test_array_bytes(self):
+        grid, field, st = make_twogrid()
+        assert st.array_bytes == 2 * field.nbytes
+
+
+class TestCompressed:
+    def make(self, shape=(8, 5, 5), upp=4):
+        grid = Grid3D(shape)
+        field = random_field(shape, RNG)
+        st = CompressedStorage(grid, field, (1, 0, 0), upp)
+        return grid, field, st
+
+    def test_margin_allocation(self):
+        grid, field, st = self.make(upp=4)
+        assert st._array.shape == (12, 5, 5)
+        assert st.margin == (4, 0, 0)
+
+    def test_offsets_forward_and_unwind(self):
+        _, _, st = self.make(upp=4)
+        assert [st.offset_scalar(v) for v in range(0, 9)] == [
+            0, -1, -2, -3, -4, -3, -2, -1, 0]
+
+    def test_initial_extract(self):
+        grid, field, st = self.make()
+        np.testing.assert_array_equal(st.extract(0), field)
+
+    def test_write_goes_to_shifted_position(self):
+        grid, field, st = self.make()
+        region = grid.domain
+        vals = np.full(region.shape, 1.5)
+        st.write(region, 1, vals)
+        # Level-1 values live one cell lower in storage.
+        np.testing.assert_array_equal(st._array[3:11], vals)
+        np.testing.assert_array_equal(st.extract(1), vals)
+
+    def test_clobber_detected_on_read(self):
+        grid, field, st = self.make(shape=(8, 5, 5), upp=4)
+        # Update the lower half twice; its level-1 write at offset -1
+        # overwrites level-0 values of cells one layer below itself.
+        lower = Box((0, 0, 0), (4, 5, 5))
+        st.write(lower, 1, np.zeros(lower.shape))
+        st.write(lower, 2, np.zeros(lower.shape))
+        # The level-1 write at offset -1 covered storage rows [3, 7), which
+        # is where cell z=2 keeps its level-0 value (row 2+margin=6): that
+        # value is gone, and reading it must raise.
+        with pytest.raises(StorageError, match="compressed-grid"):
+            st.gather(Box((3, 0, 0), (4, 5, 5)), (-1, 0, 0), 0)
+        # Cell z=3's level-0 value (row 7) survived and is still readable.
+        out = st.gather(Box((4, 0, 0), (5, 5, 5)), (-1, 0, 0), 0)
+        np.testing.assert_array_equal(out[0], field[3])
+
+    def test_never_produced_value_detected(self):
+        grid, field, st = self.make()
+        with pytest.raises(StorageError):
+            st._read_inside(Box((0, 0, 0), (1, 5, 5)), 3)
+
+    def test_single_array_bytes(self):
+        grid, field, st = self.make(upp=4)
+        assert st.array_bytes == 12 * 5 * 5 * 8
+
+    def test_rejects_bad_shift_vec(self):
+        grid = Grid3D((4, 4, 4))
+        f = np.zeros((4, 4, 4))
+        with pytest.raises(ValueError):
+            CompressedStorage(grid, f, (0, 0, 0), 2)
+        with pytest.raises(ValueError):
+            CompressedStorage(grid, f, (2, 0, 0), 2)
+
+
+class TestFactory:
+    def test_make_twogrid(self):
+        grid = Grid3D((4, 4, 4))
+        st = make_storage("twogrid", grid, np.zeros(grid.shape), (1, 0, 0), 2)
+        assert isinstance(st, TwoGridStorage)
+
+    def test_make_compressed(self):
+        grid = Grid3D((4, 4, 4))
+        st = make_storage("compressed", grid, np.zeros(grid.shape), (1, 0, 0), 2)
+        assert isinstance(st, CompressedStorage)
+
+    def test_unknown_scheme(self):
+        grid = Grid3D((4, 4, 4))
+        with pytest.raises(ValueError):
+            make_storage("tiled", grid, np.zeros(grid.shape), (1, 0, 0), 2)
