@@ -11,19 +11,23 @@ The package has two rails:
   calibrated discrete-event machine model (``repro.machine``,
   ``repro.sim``, ``repro.models``) to regenerate the paper's figures.
 
-Quickstart::
+The front door to the functional rail is :func:`repro.solve`, which runs
+the same configuration on either backend::
 
     import numpy as np
-    from repro import Grid3D, PipelineConfig, RelaxedSpec, run_pipelined
+    from repro import Grid3D, PipelineConfig, RelaxedSpec, solve
     from repro.kernels import reference_sweeps
 
     grid = Grid3D((32, 32, 32))
     field = np.random.default_rng(0).random(grid.shape)
     cfg = PipelineConfig(teams=2, threads_per_team=2, updates_per_thread=2,
                          block_size=(8, 64, 64), sync=RelaxedSpec(1, 4))
-    result = run_pipelined(grid, field, cfg)
-    assert np.allclose(result.field,
-                       reference_sweeps(grid, field, cfg.total_updates))
+    shared = solve(grid, field, cfg)                       # one process
+    dist = solve(grid, field, cfg, topology=(2, 1, 1),
+                 backend="simmpi")                         # two ranks
+    ref = reference_sweeps(grid, field, cfg.total_updates)
+    assert np.allclose(shared.field, ref)
+    assert np.allclose(dist.field, ref)
 """
 
 from .grid import Box, BlockDecomposition, DirichletBoundary, Grid3D, random_field
@@ -41,11 +45,44 @@ from .core import (
     PipelineResult,
     RelaxedSpec,
     ScheduleDeadlock,
+    SolveResult,
     StorageError,
     run_pipelined,
 )
+from .api import BACKENDS, solve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Symbols re-exported from the distributed rail.  Resolved lazily (PEP
+#: 562) so that `import repro` — and with it the shared-memory rail and
+#: the figure-independent bench utilities — keeps working even if
+#: ``repro.dist`` (or a future hard MPI dependency of it) is broken or
+#: absent in a stripped-down deployment.
+_DIST_EXPORTS = frozenset({
+    "CartesianDecomposition",
+    "ClusterModel",
+    "Comm",
+    "RankComm",
+    "SimMPIError",
+    "balanced_grid",
+    "distributed_jacobi_pipelined",
+    "distributed_jacobi_sweeps",
+    "exchange_plan",
+    "fig6_variants",
+    "run_ranks",
+})
+
+
+def __getattr__(name: str):
+    if name in _DIST_EXPORTS:
+        from . import dist
+
+        return getattr(dist, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _DIST_EXPORTS)
 
 __all__ = [
     "Box",
@@ -64,7 +101,21 @@ __all__ = [
     "PipelineExecutor",
     "PipelineResult",
     "ScheduleDeadlock",
+    "SolveResult",
     "StorageError",
     "run_pipelined",
+    "CartesianDecomposition",
+    "ClusterModel",
+    "Comm",
+    "RankComm",
+    "SimMPIError",
+    "balanced_grid",
+    "distributed_jacobi_pipelined",
+    "distributed_jacobi_sweeps",
+    "exchange_plan",
+    "fig6_variants",
+    "run_ranks",
+    "BACKENDS",
+    "solve",
     "__version__",
 ]

@@ -1,0 +1,102 @@
+"""The unified solver front-end: one call, interchangeable backends.
+
+Shared-memory pipelined temporal blocking and the distributed hybrid
+scheme execute the *same* algorithm — the difference is where the data
+lives and how ghost values travel.  :func:`solve` makes that an argument
+instead of an import decision::
+
+    res = repro.solve(grid, field, cfg)                           # shared
+    res = repro.solve(grid, field, cfg, topology=(2, 2, 1),
+                      backend="simmpi")                           # 4 ranks
+
+Both calls return a :class:`~repro.core.pipeline.SolveResult`; on a
+``(1, 1, 1)`` topology the two backends produce bit-identical fields
+(the degenerate distributed run has an empty exchange plan and drives
+the identical executor schedule).
+
+Backends
+--------
+``"shared"``
+    One process, ``n`` teams of ``t`` threads (simulated stages) —
+    :func:`repro.core.pipeline.run_pipelined`.
+``"simmpi"``
+    One thread-backed simulated-MPI rank per subdomain —
+    :func:`repro.dist.solver.distributed_jacobi_pipelined`.  A real MPI
+    deployment implements the same :class:`repro.dist.comm.Comm`
+    protocol (see :class:`repro.dist.comm.MPI4PyComm`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .core.parameters import PipelineConfig
+from .core.pipeline import SolveResult, run_pipelined
+from .grid.grid3d import Grid3D
+from .kernels.stencils import StarStencil
+
+__all__ = ["BACKENDS", "solve"]
+
+#: Execution backends understood by :func:`solve`.
+BACKENDS = ("shared", "simmpi")
+
+
+def _check_topology(topology: Optional[Sequence[int]]) -> Tuple[int, int, int]:
+    if topology is None:
+        return (1, 1, 1)
+    if len(topology) != 3:
+        raise ValueError(
+            f"topology must be a (Pz, Py, Px) triple, got {topology!r}")
+    topo = tuple(int(p) for p in topology)
+    if any(p < 1 for p in topo):
+        raise ValueError(f"topology extents must be >= 1, got {topo}")
+    return topo  # type: ignore[return-value]
+
+
+def solve(
+    grid: Grid3D,
+    field: np.ndarray,
+    config: PipelineConfig,
+    topology: Optional[Sequence[int]] = None,
+    backend: str = "shared",
+    stencil: Optional[StarStencil] = None,
+) -> SolveResult:
+    """Advance ``field`` by ``config.total_updates`` levels on ``backend``.
+
+    Parameters
+    ----------
+    grid, field, config:
+        The problem and the pipelined temporal-blocking parameters, same
+        as :func:`~repro.core.pipeline.run_pipelined`.
+    topology:
+        Process grid ``(Pz, Py, Px)``; defaults to ``(1, 1, 1)``.  The
+        shared backend is single-process and rejects anything else.
+    backend:
+        ``"shared"`` or ``"simmpi"`` (see module docstring).
+    stencil:
+        Optional radius-1 star stencil (defaults to the 7-point Jacobi).
+
+    Returns
+    -------
+    SolveResult
+        With the same field layout regardless of backend; communication
+        counters are zero for the shared backend.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    topo = _check_topology(topology)
+    if backend == "shared":
+        if topo != (1, 1, 1):
+            raise ValueError(
+                f"the shared backend is single-process; topology {topo} "
+                "needs backend='simmpi'")
+        return run_pipelined(grid, field, config, stencil=stencil)
+    # Imported lazily, mirroring the top-level re-exports: the shared
+    # backend must work even where the distributed rail is unavailable.
+    from .dist.solver import distributed_jacobi_pipelined
+
+    return distributed_jacobi_pipelined(grid, field, topo, config,
+                                        stencil=stencil)

@@ -24,7 +24,6 @@ from ..models.pipeline_model import PipelineModel, nehalem_speedup_formula
 from ..sim.baseline_sim import standard_jacobi_mlups
 from ..sim.costmodel import CodeBalance
 from ..sim.des_pipeline import simulate_pipelined
-from ..dist.cluster_sim import ClusterModel, fig6_variants
 
 __all__ = [
     "DEFAULT_SIM_SHAPE",
@@ -124,6 +123,11 @@ def fig6_series(machine: Optional[MachineSpec] = None,
                 node_counts: Sequence[int] = (1, 8, 27, 64),
                 ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
     """Fig. 6: strong and weak scaling for the four measured variants."""
+    # Imported lazily: fig6 is the only series that needs the distributed
+    # rail, and the figure-independent bench utilities should not
+    # hard-fail if repro.dist (or a future real-MPI dep) is unavailable.
+    from ..dist.cluster_sim import ClusterModel, fig6_variants
+
     m = machine or nehalem_ep()
     cm = ClusterModel(m)
     out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {

@@ -1,17 +1,24 @@
 """High-level front-end for pipelined temporal blocking.
 
-``run_pipelined`` is the one-call public API: give it a grid, an initial
-field and a :class:`~repro.core.parameters.PipelineConfig`, get back the
-field advanced by ``passes * n*t*T`` time levels — guaranteed identical to
-that many plain Jacobi sweeps (the equivalence the whole paper rests on,
-and which our test-suite asserts for every scheme/sync/storage
-combination).
+``run_pipelined`` is the shared-memory entry point: give it a grid, an
+initial field and a :class:`~repro.core.parameters.PipelineConfig`, get
+back the field advanced by ``passes * n*t*T`` time levels — guaranteed
+identical to that many plain Jacobi sweeps (the equivalence the whole
+paper rests on, and which our test-suite asserts for every
+scheme/sync/storage combination).
+
+Every solver front-end — this one and the distributed ones in
+:mod:`repro.dist.solver` — returns the same :class:`SolveResult`, so
+callers can switch between the shared-memory and distributed-memory
+rails (or go through the dispatching :func:`repro.solve`) without
+touching their result handling.  ``PipelineResult`` remains as an alias
+for existing code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -22,22 +29,47 @@ from .executor import ExecutionStats, PipelineExecutor
 from .parameters import PipelineConfig
 from .schedule import check_coverage, make_decomposition
 
-__all__ = ["PipelineResult", "plan", "run_pipelined"]
+__all__ = ["SolveResult", "PipelineResult", "plan", "run_pipelined"]
 
 
 @dataclass
-class PipelineResult:
-    """Outcome of a pipelined run."""
+class SolveResult:
+    """Outcome of a solve, uniform across execution backends.
 
+    The shared-memory backend fills the communication fields with their
+    single-process values (one rank, nothing exchanged); the distributed
+    backends report the aggregate traffic of all ranks.
+    """
+
+    #: Final interior field (global domain, all backends).
     field: np.ndarray
+    #: Time levels the field was advanced by.
     levels_advanced: int
-    stats: ExecutionStats
-    config: PipelineConfig
+    #: Aggregate executor counters (``None`` for non-pipelined solvers).
+    stats: Optional[ExecutionStats]
+    #: The pipeline configuration (``None`` for non-pipelined solvers).
+    config: Optional[PipelineConfig]
+    #: Which backend produced this result (``"shared"`` or ``"simmpi"``).
+    backend: str = "shared"
+    #: Process-grid topology the solve ran on.
+    topology: Tuple[int, int, int] = (1, 1, 1)
+    #: Number of ranks (product of the topology).
+    n_ranks: int = 1
+    #: Ghost layers exchanged per superstep (0: no exchange happened).
+    halo: int = 0
+    #: Total bytes sent by all ranks over the whole solve.
+    bytes_exchanged: int = 0
+    #: Total messages sent by all ranks over the whole solve.
+    messages: int = 0
 
     @property
     def cells_updated(self) -> int:
         """Total cell updates performed (incl. trapezoid extra work)."""
-        return self.stats.cells_updated
+        return self.stats.cells_updated if self.stats is not None else 0
+
+
+#: Backwards-compatible name from before the unified front-end.
+PipelineResult = SolveResult
 
 
 def plan(grid: Grid3D, config: PipelineConfig, verify_coverage: bool = True):
@@ -63,7 +95,7 @@ def run_pipelined(
     rng: Optional[np.random.Generator] = None,
     validate: bool = True,
     record_trace: bool = False,
-) -> PipelineResult:
+) -> SolveResult:
     """Advance ``field`` by ``config.total_updates`` Jacobi time levels.
 
     This is the shared-memory entry point; the distributed front-end in
@@ -77,9 +109,10 @@ def run_pipelined(
         order=order, rng=rng, validate=validate, record_trace=record_trace,
     )
     out = ex.run()
-    return PipelineResult(
+    return SolveResult(
         field=out,
         levels_advanced=config.total_updates,
         stats=ex.stats,
         config=config,
+        backend="shared",
     )

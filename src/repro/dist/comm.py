@@ -1,0 +1,122 @@
+"""Abstract communicator protocol for the distributed solvers.
+
+The solvers in :mod:`repro.dist.solver` are written against this small
+protocol rather than a concrete transport, so the same code runs on
+
+* :class:`repro.dist.simmpi.RankComm` — the thread-backed simulated MPI
+  used by the test-suite and the examples (no external dependencies), and
+* a real MPI library via :class:`MPI4PyComm`, a thin adapter that slots
+  in when ``mpi4py`` is available (it is deliberately *not* imported at
+  module load, so the package works on machines without MPI).
+
+The surface is the minimal subset the ghost-cell-expansion protocol
+needs: point-to-point ``send``/``recv``/``sendrecv`` plus the three
+collectives the drivers use (``gather``, ``allreduce_max``, ``barrier``).
+Sends are *buffered* (copy-on-send): a rank may mutate its buffer the
+moment ``send`` returns, and consecutive buffered sends cannot deadlock —
+the property the 3-phase exchange relies on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List, Optional
+
+__all__ = ["Comm", "MPI4PyComm"]
+
+
+class Comm(ABC):
+    """Minimal communicator protocol (see module docstring)."""
+
+    #: This process's rank in ``[0, size)``.
+    rank: int
+    #: Number of participating processes.
+    size: int
+
+    @abstractmethod
+    def send(self, dest: int, data: Any) -> None:
+        """Buffered send to ``dest`` (copy-on-send; returns immediately)."""
+
+    @abstractmethod
+    def recv(self, src: int) -> Any:
+        """Blocking receive of the next message from ``src``."""
+
+    @abstractmethod
+    def sendrecv(self, dest: int, data: Any, src: int) -> Any:
+        """Combined exchange: send to ``dest``, receive from ``src``."""
+
+    @abstractmethod
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        """Collect one value per rank; the rank-ordered list at ``root``,
+        ``None`` elsewhere."""
+
+    @abstractmethod
+    def allreduce_max(self, value: float) -> float:
+        """Global maximum of ``value``, returned on every rank."""
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+
+
+class MPI4PyComm(Comm):
+    """Adapter running the protocol over a real ``mpi4py`` communicator.
+
+    Construction requires ``mpi4py``; the import is local so the rest of
+    the package carries no MPI dependency.  Messages use the generic
+    (pickle-based) mpi4py path — ghost slabs are contiguous array copies
+    already, so there is nothing to gain from the buffer interface here.
+
+    ``send`` must honour the protocol's buffered (non-blocking) contract:
+    the 3-phase exchange issues all of a phase's sends before any
+    receive, and MPI's standard-mode send switches to rendezvous above
+    the eager threshold, which would deadlock two peers sending each
+    other large ghost slabs.  The adapter therefore uses ``isend`` and
+    parks the request; outstanding requests are drained opportunistically
+    on ``recv`` and completely at every synchronisation point.
+    """
+
+    def __init__(self, mpi_comm: Any = None) -> None:
+        try:
+            from mpi4py import MPI  # noqa: PLC0415 — optional dependency
+        except ImportError as exc:  # pragma: no cover - environment-dependent
+            raise RuntimeError(
+                "MPI4PyComm requires the optional 'mpi4py' package; "
+                "install it or use the simmpi backend"
+            ) from exc
+        self._mpi = MPI
+        self._comm = mpi_comm if mpi_comm is not None else MPI.COMM_WORLD
+        self.rank = self._comm.Get_rank()
+        self.size = self._comm.Get_size()
+        self._pending: List[Any] = []
+
+    # pragma-no-cover rationale: exercised only when mpi4py is installed.
+    def _drain(self, wait: bool) -> None:  # pragma: no cover
+        if wait and self._pending:
+            self._mpi.Request.waitall(self._pending)
+            self._pending.clear()
+        else:
+            self._pending = [r for r in self._pending if not r.Test()]
+
+    def send(self, dest: int, data: Any) -> None:  # pragma: no cover
+        self._pending.append(self._comm.isend(data, dest=dest))
+
+    def recv(self, src: int) -> Any:  # pragma: no cover
+        out = self._comm.recv(source=src)
+        self._drain(wait=False)
+        return out
+
+    def sendrecv(self, dest: int, data: Any, src: int) -> Any:  # pragma: no cover
+        return self._comm.sendrecv(data, dest=dest, source=src)
+
+    def gather(self, value: Any, root: int = 0):  # pragma: no cover
+        self._drain(wait=True)
+        return self._comm.gather(value, root=root)
+
+    def allreduce_max(self, value: float) -> float:  # pragma: no cover
+        self._drain(wait=True)
+        return self._comm.allreduce(value, op=self._mpi.MAX)
+
+    def barrier(self) -> None:  # pragma: no cover
+        self._drain(wait=True)
+        self._comm.Barrier()

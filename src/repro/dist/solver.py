@@ -1,0 +1,271 @@
+"""Distributed-memory solvers: multi-halo Jacobi and the hybrid scheme.
+
+Two front-ends, both returning the unified
+:class:`~repro.core.pipeline.SolveResult`:
+
+* :func:`distributed_jacobi_sweeps` — the paper's Sect. 2.1 scheme in
+  isolation: exchange ``h`` ghost layers, run ``h`` plain Jacobi updates
+  where update ``s`` covers a region ``h − s`` layers larger than the
+  core (the shrinking trapezoid), repeat.  Ground truth for the hybrid
+  scheme and the cheapest way to see the ghost-cell expansion work.
+
+* :func:`distributed_jacobi_pipelined` — the paper's headline hybrid:
+  every rank drives the *shared-memory* pipelined executor
+  (:class:`~repro.core.executor.PipelineExecutor`) over its trapezoid via
+  the executor's ``active_fn`` hook, with ``h = n·t·T`` chosen so one
+  executor pass consumes exactly one halo exchange.  Between passes the
+  ranks run the 3-phase ghost-cell-expansion exchange of
+  :mod:`repro.dist.exchange` over a :class:`~repro.dist.comm.Comm`.
+
+Every ghost cell a rank updates is *also* updated by its owner from the
+same inputs, so the redundant trapezoid work is bit-consistent across
+ranks and the assembled field matches the single-domain solver to
+floating-point accuracy — which ``tests/test_dist.py`` pins at 1e-13.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.executor import ExecutionStats, PipelineExecutor
+from ..core.parameters import PipelineConfig
+from ..core.pipeline import SolveResult
+from ..grid.grid3d import DirichletBoundary, Grid3D
+from ..grid.region import Box
+from ..kernels.jacobi import jacobi7
+from ..kernels.reference import reference_sweep_region
+from ..kernels.stencils import StarStencil
+from .comm import Comm
+from .decomp import CartesianDecomposition, RankGeometry
+from .exchange import ExchangeEntry, exchange_plan
+from .simmpi import run_ranks
+
+__all__ = ["distributed_jacobi_sweeps", "distributed_jacobi_pipelined"]
+
+Coord = Tuple[int, int, int]
+
+
+def _shifted_boundary(boundary: DirichletBoundary, off: Coord) -> DirichletBoundary:
+    """The global Dirichlet ring expressed in rank-local coordinates.
+
+    Per-face constants translate unchanged (a stored face either *is* the
+    matching global face or is never read); a spatially varying ``func``
+    needs its coordinates shifted back to global.
+    """
+    if boundary.func is None:
+        return DirichletBoundary(boundary.default, faces=dict(boundary.faces))
+    oz, oy, ox = off
+
+    def shifted(z: np.ndarray, y: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return boundary.func(z + oz, y + oy, x + ox)
+
+    return DirichletBoundary(boundary.default, faces=dict(boundary.faces),
+                             func=shifted)
+
+
+def _run_exchange(comm: Comm, plan: List[ExchangeEntry],
+                  extract: Callable[[Box], np.ndarray],
+                  inject: Callable[[Box, np.ndarray], None]) -> Tuple[int, int]:
+    """One full 3-phase ghost exchange; returns (bytes_sent, messages).
+
+    Within a phase all sends are issued before any receive — sends are
+    buffered (copy-on-send), so this cannot deadlock regardless of rank
+    interleaving.  Phases are ordered (dim 0, 1, 2) because later phases
+    forward the ghost data received in earlier ones (Fig. 4).
+    """
+    nbytes = 0
+    messages = 0
+    for dim in range(3):
+        phase = [e for e in plan if e[0] == dim]
+        for (_, _, peer, send, _) in phase:
+            vals = extract(send)
+            comm.send(peer, vals)
+            nbytes += vals.nbytes
+            messages += 1
+        for (_, _, peer, _, recv) in phase:
+            inject(recv, comm.recv(peer))
+    return nbytes, messages
+
+
+def _prepare(grid: Grid3D, field: np.ndarray, proc_grid: Sequence[int],
+             halo: int) -> Tuple[CartesianDecomposition, List[List[ExchangeEntry]]]:
+    """Decompose and pre-validate every rank's exchange plan (fail fast)."""
+    if field.shape != grid.shape:
+        raise ValueError(f"field shape {field.shape} != grid shape {grid.shape}")
+    decomp = CartesianDecomposition(grid.shape, proc_grid, halo)
+    plans = [exchange_plan(decomp, decomp.geometry(r))
+             for r in range(decomp.n_ranks)]
+    return decomp, plans
+
+
+def _assemble(grid: Grid3D,
+              pieces: List[Tuple[Box, np.ndarray]]) -> np.ndarray:
+    """Stitch the rank cores back into one global interior array."""
+    out = np.empty(grid.shape, dtype=grid.dtype)
+    for core, vals in pieces:
+        out[core.slices()] = vals
+    return out
+
+
+def _neg(off: Coord) -> Coord:
+    return (-off[0], -off[1], -off[2])
+
+
+# ---------------------------------------------------------------------------
+# Multi-halo Jacobi sweeps (Sect. 2.1 in isolation)
+# ---------------------------------------------------------------------------
+
+def distributed_jacobi_sweeps(
+    grid: Grid3D,
+    field: np.ndarray,
+    proc_grid: Sequence[int],
+    supersteps: int,
+    halo: int,
+    stencil: Optional[StarStencil] = None,
+) -> SolveResult:
+    """``supersteps`` rounds of (h-layer exchange, then h trapezoid sweeps).
+
+    Advances the field by ``supersteps * halo`` time levels, equal to that
+    many plain Jacobi sweeps on the undecomposed domain.
+    """
+    if supersteps < 1:
+        raise ValueError("supersteps must be >= 1")
+    st = stencil or jacobi7()
+    decomp, plans = _prepare(grid, field, proc_grid, halo)
+
+    def rank_fn(comm: Comm, rank: int):
+        geo = decomp.geometry(rank)
+        off = geo.stored.lo
+        neg = _neg(off)
+        lgrid = Grid3D(geo.stored.shape,
+                       boundary=_shifted_boundary(grid.boundary, off),
+                       dtype=grid.dtype)
+        # Padded pair: local stored box + the one-cell Dirichlet ring.
+        cur = lgrid.padded(np.ascontiguousarray(field[geo.stored.slices()]))
+        nxt = cur.copy()
+        core_l = geo.core.shift(neg)
+        nbytes = messages = 0
+
+        def extract(box: Box) -> np.ndarray:
+            return cur[box.shift(neg).slices((1, 1, 1))].copy()
+
+        def inject(box: Box, vals: np.ndarray) -> None:
+            cur[box.shift(neg).slices((1, 1, 1))] = vals
+
+        for _ in range(supersteps):
+            b, m = _run_exchange(comm, plans[rank], extract, inject)
+            nbytes += b
+            messages += m
+            for s in range(1, halo + 1):
+                region = core_l.grow(halo - s).intersect(lgrid.domain)
+                reference_sweep_region(cur, nxt, region.lo, region.hi, st)
+                cur, nxt = nxt, cur
+        return geo.core, cur[core_l.slices((1, 1, 1))].copy(), nbytes, messages
+
+    outs = run_ranks(decomp.n_ranks, rank_fn)
+    return SolveResult(
+        field=_assemble(grid, [(core, vals) for core, vals, _, _ in outs]),
+        levels_advanced=supersteps * halo,
+        stats=None,
+        config=None,
+        backend="simmpi",
+        topology=decomp.proc_grid,
+        n_ranks=decomp.n_ranks,
+        halo=halo,
+        bytes_exchanged=sum(o[2] for o in outs),
+        messages=sum(o[3] for o in outs),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hybrid: pipelined temporal blocking per rank (Sect. 2.2)
+# ---------------------------------------------------------------------------
+
+def distributed_jacobi_pipelined(
+    grid: Grid3D,
+    field: np.ndarray,
+    proc_grid: Sequence[int],
+    config: PipelineConfig,
+    stencil: Optional[StarStencil] = None,
+    order: str = "round_robin",
+    validate: bool = True,
+) -> SolveResult:
+    """The paper's hybrid scheme: one pipelined executor per rank.
+
+    The halo width is ``h = config.updates_per_pass`` (= ``n·t·T``) so a
+    single executor pass exactly drains one exchange; ``config.passes``
+    becomes the number of supersteps.  Requires the two-grid storage
+    scheme: the compressed grid's shifted storage positions do not
+    compose with ghost injection across ranks.
+    """
+    if config.storage != "twogrid":
+        raise ValueError(
+            "distributed pipelining requires the 'twogrid' storage scheme; "
+            f"the {config.storage!r} layout cannot absorb ghost injections"
+        )
+    st = stencil or jacobi7()
+    h = config.updates_per_pass
+    decomp, plans = _prepare(grid, field, proc_grid, h)
+
+    def rank_fn(comm: Comm, rank: int):
+        geo = decomp.geometry(rank)
+        off = geo.stored.lo
+        neg = _neg(off)
+        lgrid = Grid3D(geo.stored.shape,
+                       boundary=_shifted_boundary(grid.boundary, off),
+                       dtype=grid.dtype)
+        core_l = geo.core.shift(neg)
+
+        def active_fn(level: int) -> Box:
+            # Pass-local update u covers the core + (h - u) ghost layers:
+            # the shrinking trapezoid; the executor clips to the stored box.
+            u = (level - 1) % h + 1
+            return core_l.grow(h - u)
+
+        ex = PipelineExecutor(
+            lgrid, np.ascontiguousarray(field[geo.stored.slices()]),
+            config, st, order=order, active_fn=active_fn, validate=validate,
+        )
+        storage = ex.storage
+        nbytes = messages = 0
+        for p in range(config.passes):
+            base = p * h
+
+            def extract(box: Box, base: int = base) -> np.ndarray:
+                return storage.extract_region(box.shift(neg), base)
+
+            def inject(box: Box, vals: np.ndarray, base: int = base) -> None:
+                storage.inject(box.shift(neg), base, vals)
+
+            b, m = _run_exchange(comm, plans[rank], extract, inject)
+            nbytes += b
+            messages += m
+            ex.run_pass(p)
+        final = config.passes * h
+        core_vals = storage.extract_region(core_l, final)
+        return geo.core, core_vals, nbytes, messages, ex.stats
+
+    outs = run_ranks(decomp.n_ranks, rank_fn)
+    stats = ExecutionStats()
+    for o in outs:
+        rank_stats: ExecutionStats = o[4]
+        stats.block_ops += rank_stats.block_ops
+        stats.empty_block_ops += rank_stats.empty_block_ops
+        stats.updates += rank_stats.updates
+        stats.cells_updated += rank_stats.cells_updated
+        stats.max_counter_gap = max(stats.max_counter_gap,
+                                    rank_stats.max_counter_gap)
+    return SolveResult(
+        field=_assemble(grid, [(core, vals) for core, vals, *_ in outs]),
+        levels_advanced=config.total_updates,
+        stats=stats,
+        config=config,
+        backend="simmpi",
+        topology=decomp.proc_grid,
+        n_ranks=decomp.n_ranks,
+        halo=h,
+        bytes_exchanged=sum(o[2] for o in outs),
+        messages=sum(o[3] for o in outs),
+    )
