@@ -6,53 +6,60 @@
   overflow the shared cache when the pipeline is loose;
 * storage scheme & NT stores: compressed grid lessens bandwidth
   pressure; NT stores are counterproductive under temporal blocking.
+
+Thin wrappers over the ``ablation_*@<scale>`` perf scenarios; each run
+persists its ``benchmarks/results/ablation_*.json`` document.
 """
 
 from __future__ import annotations
 
-from repro.bench import (
-    ablation_block_size,
-    ablation_nt_stores,
-    ablation_team_delay,
-    banner,
-    format_series,
-    format_table,
-)
+from repro.bench import banner, format_series, format_table
 
 
-def test_team_delay(benchmark, record_output):
-    series = benchmark.pedantic(ablation_team_delay, rounds=1, iterations=1)
+def _render_team_delay(series) -> str:
     text = banner("Ablation E7 — team delay d_t (two teams, d_l=1, d_u=4)")
     text += "\n" + format_series("node", [(dt, v) for dt, v in series],
                                  "d_t", "MLUP/s", floatfmt=".1f")
-    record_output("ablation_team_delay", text)
+    return text
+
+
+def test_team_delay(perf_bench, bench_scale):
+    series = perf_bench("ablation_team_delay", _render_team_delay)
     vals = dict(series)
     base = vals[0]
-    # Paper: only a very slight impact (few per cent either way).
+    # Paper: only a very slight impact (few per cent either way); the
+    # small quick-scale problem exaggerates the relative swing.
+    tolerance = 0.10 if bench_scale == "paper" else 0.35
     for dt, v in vals.items():
-        assert abs(v - base) / base < 0.10, (dt, v, base)
+        assert abs(v - base) / base < tolerance, (dt, v, base)
 
 
-def test_block_size(benchmark, record_output):
-    rows = benchmark.pedantic(ablation_block_size, rounds=1, iterations=1)
+def _render_block_size(rows) -> str:
     text = banner("Ablation E8 — inner block length b_x (socket, d_u=4)")
     text += "\n" + format_table(["b_x", "MLUP/s", "cache reloads"],
                                 [[bx, v, r] for bx, v, r in rows],
                                 floatfmt="8.1f")
-    record_output("ablation_block_size", text)
+    return text
+
+
+def test_block_size(perf_bench):
+    rows = perf_bench("ablation_block_size", _render_block_size)
     perf = {bx: v for bx, v, _ in rows}
     # b_x = 120 (the paper's optimum) performs within 10 % of the best.
     assert perf[120] > 0.9 * max(perf.values())
 
 
-def test_storage_and_nt_stores(benchmark, record_output):
-    vals = benchmark.pedantic(ablation_nt_stores, rounds=1, iterations=1)
+def _render_nt_stores(vals) -> str:
     text = banner("Ablation E9 — storage scheme and non-temporal stores "
                   "(socket, d_u=4)")
     text += "\n" + format_table(["variant", "MLUP/s"],
                                 [[k, v] for k, v in vals.items()],
                                 floatfmt="8.1f")
-    record_output("ablation_nt_stores", text)
+    return text
+
+
+def test_storage_and_nt_stores(perf_bench):
+    vals = perf_bench("ablation_nt_stores", _render_nt_stores)
     # NT stores leak every update to memory: clearly counterproductive.
     assert vals["two-grid + NT stores"] < 0.9 * vals["two-grid"]
     # Compressed grid is at least as good as two-grid here.

@@ -6,11 +6,16 @@ team) and the full node (two teams), plus the Eq. 5 model markers for
 T=1 and T=2.  Expected shape (paper): pipelining wins 50–60 %, relaxed
 sync beats the barrier and pays off most on two sockets, the T=1 model
 marker matches the measurement while the T=2 marker overshoots.
+
+Thin wrapper over the ``fig3_left@<scale>`` perf scenario: the data
+comes from :mod:`repro.perf`, the table from
+:mod:`repro.bench.reporting`, and the run also persists
+``benchmarks/results/fig3_left.json``.
 """
 
 from __future__ import annotations
 
-from repro.bench import banner, fig3_left, format_table
+from repro.bench import banner, format_table
 
 
 def _render(data) -> str:
@@ -39,15 +44,22 @@ def _render(data) -> str:
                   "problem, Nehalem EP model") + "\n" + table
 
 
-def test_fig3_left(benchmark, record_output):
-    data = benchmark.pedantic(fig3_left, rounds=1, iterations=1)
-    record_output("fig3_left", _render(data))
+def test_fig3_left(perf_bench, bench_scale):
+    data = perf_bench("fig3_left", _render)
 
     socket = data["socket"]
     node = data["node"]
     std_s, std_n = socket["standard Jacobi"], node["standard Jacobi"]
     best_s = socket["pipeline relaxed d_u=4"]
     best_n = node["pipeline relaxed d_u=4"]
+    # Loose pipelining beats standard Jacobi and lockstep at any scale.
+    assert best_s > 1.2 * std_s
+    assert best_s > socket["pipeline relaxed d_u=1 (lockstep)"]
+    # ... and the T=2 model overshoots the simulation (model failure).
+    assert socket["model T=2"] > socket["pipeline relaxed d_u=4"] * 1.15
+    if bench_scale != "paper":
+        return
+    # Paper-shape assertions need the size-stable (>= 250^3) rates.
     # Paper: speedups of up to 50-60 % on one and two sockets.
     assert 1.35 <= best_s / std_s <= 1.8
     assert 1.30 <= best_n / std_n <= 1.8
@@ -58,5 +70,3 @@ def test_fig3_left(benchmark, record_output):
     # Model marker at T=1 agrees with the simulated T=1 run within 15 %.
     assert abs(socket["model T=1"] - socket["pipeline relaxed T=1"]) \
         / socket["pipeline relaxed T=1"] < 0.15
-    # ... and the T=2 model overshoots the simulation (model failure).
-    assert socket["model T=2"] > socket["pipeline relaxed d_u=4"] * 1.15

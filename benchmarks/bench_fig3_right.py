@@ -3,21 +3,27 @@
 Expected shape (paper): rigid lockstep (d_u - d_l = 0) is far below the
 plateau reached for looseness 1–4 ("a performance gain of about 80 % can
 be observed" for loose vs lockstep), on both socket and node.
+
+Thin wrapper over the ``fig3_right@<scale>`` perf scenario; persists
+``benchmarks/results/fig3_right.json`` alongside the ASCII series.
 """
 
 from __future__ import annotations
 
-from repro.bench import banner, fig3_right, format_series
+from repro.bench import banner, format_series
 
 
-def test_fig3_right(benchmark, record_output):
-    data = benchmark.pedantic(fig3_right, rounds=1, iterations=1)
+def _render(data) -> str:
     text = banner("Fig. 3 (right) — influence of pipeline looseness "
                   "(d_l = 1, GLUP/s)")
     for label in ("socket", "node"):
         text += "\n" + format_series(label, data[label],
                                      xlabel="d_u - d_l", ylabel="GLUP/s")
-    record_output("fig3_right", text)
+    return text
+
+
+def test_fig3_right(perf_bench):
+    data = perf_bench("fig3_right", _render)
 
     for label in ("socket", "node"):
         series = dict(data[label])

@@ -6,6 +6,9 @@ computation/overall-time inset for h = 2 and h = 32.  Expected shape:
 no influence at large L; degradation from extra halo work in the
 20 ≲ L ≲ 100 range (relevant for large h); substantial gains from
 message aggregation at L ≲ 20.
+
+Thin wrapper over the scale-independent ``fig5`` perf scenario;
+persists ``benchmarks/results/fig5.json`` alongside the ASCII series.
 """
 
 from __future__ import annotations
@@ -13,10 +16,8 @@ from __future__ import annotations
 from repro.bench import banner, fig5_series, format_series
 
 
-def test_fig5(benchmark, record_output):
-    data = benchmark.pedantic(fig5_series, rounds=1, iterations=1)
+def _render(data) -> str:
     expanded = fig5_series(expanded_messages=True)
-
     text = banner("Fig. 5 — multi-layer halo advantage "
                   "(paper accounting: unexpanded messages)")
     for h, series in data["advantage"].items():
@@ -27,7 +28,11 @@ def test_fig5(benchmark, record_output):
     text += "\n\nSelf-consistent variant (ghost-expansion message growth):"
     for h, series in expanded["advantage"].items():
         text += "\n" + format_series(f"h={h}", series, "L", "advantage")
-    record_output("fig5", text)
+    return text
+
+
+def test_fig5(perf_bench):
+    data = perf_bench("fig5", _render)
 
     adv = {h: dict(s) for h, s in data["advantage"].items()}
     # No influence at large subdomains for moderate h; our full trapezoid

@@ -6,15 +6,17 @@ pipelined 1PPN/2PPN) plus the ideal-scaling references.  Expected shape
 its benefit at large node count (communication-dominated); weak scaling
 retains most of the pipelined speedup, with 2PPN substantially better
 than 1PPN.
+
+Thin wrapper over the scale-independent ``fig6`` perf scenario;
+persists ``benchmarks/results/fig6.json`` alongside the ASCII series.
 """
 
 from __future__ import annotations
 
-from repro.bench import banner, fig6_series, format_series
+from repro.bench import banner, format_series
 
 
-def test_fig6(benchmark, record_output):
-    data = benchmark.pedantic(fig6_series, rounds=1, iterations=1)
+def _render(data) -> str:
     text = banner("Fig. 6 — strong & weak scaling, GLUP/s "
                   "(600^3 strong / 600^3-per-process weak)")
     for scaling in ("strong", "weak"):
@@ -22,7 +24,11 @@ def test_fig6(benchmark, record_output):
         for name, series in data[scaling].items():
             text += "\n" + format_series(name, series, "nodes", "GLUP/s",
                                          floatfmt=".2f")
-    record_output("fig6", text)
+    return text
+
+
+def test_fig6(perf_bench):
+    data = perf_bench("fig6", _render)
 
     strong = {k: dict(v) for k, v in data["strong"].items()}
     weak = {k: dict(v) for k, v in data["weak"].items()}

@@ -1,35 +1,22 @@
 """E10 — host micro-benchmarks of the real NumPy kernels (sanity rail).
 
 These time the actual vectorised Jacobi sweep and the functional
-pipelined executor on this container.  No paper figure depends on host
-speed; the numbers contextualise the functional rail and give
-pytest-benchmark something real to time statistically.
+pipelined/distributed solvers on this container.  No paper figure
+depends on host speed; the numbers contextualise the functional rail.
+
+Thin wrappers over the ``kernel``/``solver`` perf scenarios
+(``jacobi_sweep@<scale>``, ``solve_shared@<scale>``, ...): the JSON
+records they persist carry the host throughputs as non-gated metrics
+and the deterministic communication counters as gated ones.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
-from repro import Grid3D, PipelineConfig, RelaxedSpec, run_pipelined
-from repro.bench import banner
-from repro.grid import random_field
-from repro.kernels import jacobi_sweep_blocked, jacobi_sweep_padded
-from repro.machine import host_stream_copy
-
-N = 128
+from repro.bench import banner, format_table
 
 
-@pytest.fixture(scope="module")
-def padded_pair():
-    grid = Grid3D((N, N, N))
-    src = grid.padded(random_field(grid.shape, np.random.default_rng(0)))
-    return src, src.copy()
-
-
-def test_host_stream(benchmark, record_output):
-    res = benchmark.pedantic(lambda: host_stream_copy(n_mb=128, repeats=3),
-                             rounds=1, iterations=1)
+def test_host_stream(perf_bench, record_output):
+    res = perf_bench("host_stream")
     text = banner("Host STREAM COPY (numpy copyto, 2-stream accounting)")
     text += f"\nbandwidth: {res.gbs():.1f} GB/s"
     text += (f"\nEq. 2 expectation for a perfect host Jacobi: "
@@ -38,40 +25,48 @@ def test_host_stream(benchmark, record_output):
     assert res.bandwidth > 1e8  # anything slower means the timer broke
 
 
-def test_jacobi_sweep(benchmark, padded_pair):
-    src, dst = padded_pair
-    benchmark(jacobi_sweep_padded, src, dst)
-    mlups = N ** 3 / benchmark.stats["mean"] / 1e6
+def test_jacobi_sweep(perf_bench):
+    perf_bench("jacobi_sweep", rounds=5)
+    mlups = perf_bench.last_record.metrics["mlups"].value
     print(f"\nplain sweep: {mlups:.1f} MLUP/s on this host")
+    assert mlups > 0
 
 
-def test_jacobi_sweep_blocked(benchmark, padded_pair):
-    src, dst = padded_pair
-    benchmark(jacobi_sweep_blocked, src, dst, (N, 20, 20))
-    mlups = N ** 3 / benchmark.stats["mean"] / 1e6
+def test_jacobi_sweep_blocked(perf_bench):
+    perf_bench("jacobi_sweep_blocked", rounds=5)
+    mlups = perf_bench.last_record.metrics["mlups"].value
     print(f"\nblocked sweep: {mlups:.1f} MLUP/s on this host")
+    assert mlups > 0
 
 
-def test_pipelined_executor_throughput(benchmark):
-    grid = Grid3D((48, 48, 48))
-    field = random_field(grid.shape, np.random.default_rng(1))
-    cfg = PipelineConfig(teams=1, threads_per_team=4, updates_per_thread=2,
-                         block_size=(6, 100, 100), sync=RelaxedSpec(1, 4))
+def _render_solver(record) -> str:
+    rows = [[name, m.value, m.unit] for name, m in record.metrics.items()]
+    return (banner(f"Functional solver — {record.scenario}") + "\n" +
+            format_table(["metric", "value", "unit"], rows,
+                         floatfmt="12.3f"))
 
-    def run():
-        return run_pipelined(grid, field, cfg, validate=False)
 
-    res = benchmark.pedantic(run, rounds=3, iterations=1)
-    updates = res.stats.cells_updated
-    print(f"\nfunctional executor: {updates / benchmark.stats['mean'] / 1e6:.2f} "
+def test_pipelined_executor_throughput(perf_bench):
+    res = perf_bench("solve_shared", rounds=3)
+    rec = perf_bench.last_record
+    print(f"\nfunctional executor: {rec.metrics['mcups'].value:.2f} "
           "M cell-updates/s (validation off)")
+    assert res.stats.cells_updated > 0
+    # The shared backend exchanges nothing.
+    assert res.bytes_exchanged == 0 and res.messages == 0
 
 
-def test_validation_overhead(benchmark):
-    grid = Grid3D((32, 32, 32))
-    field = random_field(grid.shape, np.random.default_rng(2))
-    cfg = PipelineConfig(teams=1, threads_per_team=2, updates_per_thread=2,
-                         block_size=(4, 100, 100), sync=RelaxedSpec(1, 2))
-    benchmark.pedantic(
-        lambda: run_pipelined(grid, field, cfg, validate=True),
-        rounds=3, iterations=1)
+def test_validation_overhead(perf_bench):
+    res = perf_bench("solve_shared_validated", rounds=3)
+    rec = perf_bench.last_record
+    print(f"\nvalidated executor: {rec.metrics['mcups'].value:.2f} "
+          "M cell-updates/s (validation on)")
+    assert res.stats.cells_updated > 0
+
+
+def test_solve_simmpi(perf_bench, record_output):
+    res = perf_bench("solve_simmpi")
+    record_output("solve_simmpi", _render_solver(perf_bench.last_record))
+    # The distributed backend really communicates, deterministically.
+    assert res.n_ranks > 1
+    assert res.bytes_exchanged > 0 and res.messages > 0

@@ -3,13 +3,17 @@
 Validates Eq. 2 (P0 from STREAM), the Nehalem closed form 16T/(7+4T),
 the Eq. 5 speedup-vs-T table (model matches at T=1, fails at T>=2), and
 the speedup ceiling Mc/Ms ≈ 4.
+
+The Eq. 5 table is the ``model_validation@<scale>`` perf scenario —
+the same comparison is available standalone as
+``python -m repro.perf compare --model BENCH_<suite>.json``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bench import banner, format_table, model_validation
+from repro.bench import banner, format_table
 from repro.machine import nehalem_ep, simulated_stream_copy
 from repro.models import (
     PipelineModel,
@@ -34,8 +38,7 @@ def test_eq2_baseline(benchmark, record_output):
     assert baseline_lups(18.5e9) == pytest.approx(1.15625e9)
 
 
-def test_eq5_model_vs_sim(benchmark, record_output):
-    rows = benchmark.pedantic(model_validation, rounds=1, iterations=1)
+def _render(rows) -> str:
     table = format_table(
         ["T", "Eq.5 speedup", "16T/(7+4T)", "model MLUP/s", "sim MLUP/s",
          "sim speedup"],
@@ -48,16 +51,24 @@ def test_eq5_model_vs_sim(benchmark, record_output):
     pm = PipelineModel.from_machine(m)
     text += (f"\n\nspeedup ceiling Mc/Ms = {pm.speedup_limit():.2f} "
              f"(paper: ~4)")
-    record_output("eq5_model", text)
+    return text
+
+
+def test_eq5_model_vs_sim(perf_bench, bench_scale):
+    rows = perf_bench("model_validation", _render)
 
     # Closed form: 1.45 at T=1 as quoted.
     assert nehalem_speedup_formula(1) == pytest.approx(16 / 11)
     by_T = {int(r["T"]): r for r in rows}
-    # Model matches simulation at T=1 within 15 % ("almost exactly").
+    # Model matches simulation at T=1 ("almost exactly"): within 15 % at
+    # paper scale, slightly looser on the small quick problem.
+    t1_tolerance = 0.15 if bench_scale == "paper" else 0.20
     assert abs(by_T[1]["model_mlups"] - by_T[1]["sim_mlups"]) \
-        / by_T[1]["sim_mlups"] < 0.15
+        / by_T[1]["sim_mlups"] < t1_tolerance
     # Model fails completely at larger T: overpredicts by > 20 %.
     assert by_T[2]["model_mlups"] > 1.2 * by_T[2]["sim_mlups"]
     assert by_T[4]["model_mlups"] > 1.3 * by_T[4]["sim_mlups"]
     # Ceiling.
+    m = nehalem_ep()
+    pm = PipelineModel.from_machine(m)
     assert 3.5 < pm.speedup_limit() < 5.0

@@ -1,18 +1,42 @@
 """Shared helpers for the figure benchmarks.
 
-Each bench regenerates one paper artifact (table/figure series), prints
-it, and archives it under ``benchmarks/results/`` so the run leaves a
-reviewable record even when pytest captures stdout.
+Each bench regenerates one paper artifact (table/figure series) by
+running its registered ``repro.perf`` scenario, prints the ASCII render,
+and archives **both** forms under ``benchmarks/results/`` — the ``.txt``
+table for human review and a schema-versioned ``.json`` results document
+that ``python -m repro.perf compare`` can diff.
+
+``--quick`` (or ``REPRO_BENCH_QUICK=1``) switches every bench to the
+``quick`` suite's problem sizes so a full smoke run finishes in well
+under 30 s per bench; the strict paper-shape assertions only apply at
+``paper`` scale, where the DES rates are size-stable (>= 250^3).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="run benches at the perf harness's quick-suite scale "
+             "(smoke mode; paper-shape assertions relaxed)")
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> str:
+    """Which scenario scale the benches run at: 'quick' or 'paper'."""
+    if request.config.getoption("--quick") or \
+            os.environ.get("REPRO_BENCH_QUICK"):
+        return "quick"
+    return "paper"
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +54,42 @@ def record_output(results_dir):
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
     return write
+
+
+@pytest.fixture()
+def perf_bench(benchmark, bench_scale, record_output, results_dir):
+    """Run a registered perf scenario under pytest-benchmark.
+
+    Returns the scenario payload for the bench's assertions after
+    rendering the ASCII table (via ``render``) and persisting the JSON
+    results document through :mod:`repro.perf.store`.
+    """
+    from repro.perf import (capture_environment, find_scenario,
+                            make_document, record_from_payload,
+                            save_document)
+
+    def run(base_name: str, render=None, rounds: int = 1):
+        sc = find_scenario(base_name, bench_scale)
+        state = sc.setup() if sc.setup is not None else None
+        t0 = time.perf_counter()
+        payload = benchmark.pedantic(lambda: sc.run_once(state),
+                                     rounds=rounds, iterations=1)
+        fallback = (time.perf_counter() - t0) / rounds
+        stats = getattr(benchmark, "stats", None)
+        try:
+            wall = stats["median"] if stats is not None else fallback
+        except (KeyError, TypeError):
+            wall = fallback
+        record = record_from_payload(sc, payload, wall, repeats=rounds)
+        doc = make_document(suite=bench_scale, records=[record],
+                            environment=capture_environment(),
+                            run_config={"source": "benchmarks",
+                                        "rounds": rounds})
+        save_document(doc, results_dir / f"{base_name}.json")
+        run.last_record = record
+        if render is not None:
+            record_output(base_name, render(payload))
+        return payload
+
+    run.last_record = None
+    return run

@@ -11,6 +11,13 @@ The package has two rails:
   calibrated discrete-event machine model (``repro.machine``,
   ``repro.sim``, ``repro.models``) to regenerate the paper's figures.
 
+Measurements of both rails are driven by the ``repro.perf`` harness
+(``python -m repro.perf run|list|compare|report``): a declarative
+scenario registry with ``quick``/``paper``/``stress`` suites, a
+versioned JSON results store (``BENCH_<suite>.json``) and a regression
+gate that fails CI on a >10 % slowdown of any deterministic metric.
+See EXPERIMENTS.md for the figure-to-scenario map.
+
 The front door to the functional rail is :func:`repro.solve`, which runs
 the same configuration on either backend::
 
@@ -51,7 +58,7 @@ from .core import (
 )
 from .api import BACKENDS, solve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Symbols re-exported from the distributed rail.  Resolved lazily (PEP
 #: 562) so that `import repro` — and with it the shared-memory rail and

@@ -2,8 +2,10 @@
 
 Each ``fig*`` function returns plain data structures that the matching
 ``benchmarks/bench_*.py`` renders; keeping generation separate from the
-pytest-benchmark wrappers makes the series unit-testable (shape
-assertions live in ``tests/test_figures.py``).
+pytest-benchmark wrappers makes the series unit-testable.  The
+``repro.perf`` scenario registry wraps these same generators per suite
+scale (``fig3_left@quick`` etc.), and the shape assertions live in the
+bench wrappers themselves (see EXPERIMENTS.md for the full map).
 
 All pipelined performance numbers come from the calibrated DES; the
 simulation problem size defaults to 300^3 (same block geometry as the

@@ -1,0 +1,506 @@
+"""Declarative scenario registry: kernel × size × backend × pipeline.
+
+A :class:`Scenario` names one reproducible measurement — a figure
+regeneration through the calibrated DES, a real-NumPy kernel timing, or
+a functional ``solve()`` on one of the execution backends — together
+with the parameters that define it and a ``summarize`` hook that turns
+its payload into flat, gateable :class:`~repro.perf.schema.Metric`\\ s.
+
+Scenarios are grouped into **suites**:
+
+``quick``
+    Small shapes, finishes in well under a minute; the CI smoke gate.
+``paper``
+    The paper's own problem sizes (300^3-class); regenerates every
+    figure series exactly as the ``benchmarks/bench_*.py`` wrappers do.
+``stress``
+    Larger-than-paper shapes and wider topologies for soak runs.
+
+Scale-dependent scenarios are registered once per suite under
+``<name>@<suite>`` (e.g. ``fig3_left@quick``); scale-independent ones
+(the pure analytic models) appear in every suite under their bare name.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from functools import partial
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..bench.reporting import ratio
+from .schema import Metric
+
+__all__ = [
+    "SUITES",
+    "Scenario",
+    "register",
+    "unregister",
+    "get_scenario",
+    "find_scenario",
+    "all_scenarios",
+    "select_scenarios",
+]
+
+#: The suites every scenario must declare membership of (a subset).
+SUITES = ("quick", "paper", "stress")
+
+#: Simulation shape per suite — quick trades the >=250^3 size-stability
+#: of the DES rates (see ``repro.bench.figures``) for speed.
+SUITE_SHAPES: Dict[str, Tuple[int, int, int]] = {
+    "quick": (120, 120, 120),
+    "paper": (300, 300, 300),
+    "stress": (420, 420, 420),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered measurement.
+
+    ``fn`` produces the payload (timed by the runner); ``summarize``
+    maps ``(payload, wall_seconds)`` to named metrics.  ``setup`` (if
+    given) allocates state once, outside the timed region, and its
+    result is passed to ``fn``.  ``model``, when present, returns the
+    analytical :mod:`repro.models` prediction for a subset of the metric
+    names — the target of ``repro.perf compare --model``.
+    """
+
+    name: str
+    kind: str  # "figure" | "kernel" | "solver"
+    suites: Tuple[str, ...]
+    fn: Callable[..., object]
+    summarize: Callable[[object, float], Dict[str, Metric]]
+    params: Mapping[str, object] = field(default_factory=dict)
+    setup: Optional[Callable[[], object]] = None
+    model: Optional[Callable[[], Dict[str, float]]] = None
+    description: str = ""
+
+    def run_once(self, state: object = None) -> object:
+        """Execute the measured body once (state from :attr:`setup`)."""
+        return self.fn(state) if self.setup is not None else self.fn()
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry; names are unique."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    unknown = set(scenario.suites) - set(SUITES)
+    if unknown:
+        raise ValueError(
+            f"scenario {scenario.name!r} declares unknown suites {sorted(unknown)}")
+    if not scenario.suites:
+        raise ValueError(f"scenario {scenario.name!r} belongs to no suite")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (mainly for tests registering stubs)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Exact-name lookup with a helpful error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        close = [n for n in sorted(_REGISTRY)
+                 if n.split("@")[0] == name.split("@")[0]]
+        hint = f"; did you mean one of {close}?" if close else ""
+        raise KeyError(f"unknown scenario {name!r}{hint}") from None
+
+
+def find_scenario(base: str, suite: str) -> Scenario:
+    """Resolve ``base`` at ``suite`` scale: ``base@suite`` if registered,
+    else the scale-independent ``base``."""
+    if f"{base}@{suite}" in _REGISTRY:
+        return _REGISTRY[f"{base}@{suite}"]
+    return get_scenario(base)
+
+
+def all_scenarios() -> List[Scenario]:
+    return [_REGISTRY[n] for n in sorted(_REGISTRY)]
+
+
+def select_scenarios(suite: Optional[str] = None,
+                     pattern: Optional[str] = None) -> List[Scenario]:
+    """Scenarios of ``suite`` (all if None), filtered by a glob pattern."""
+    if suite is not None and suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
+    out = []
+    for sc in all_scenarios():
+        if suite is not None and suite not in sc.suites:
+            continue
+        if pattern is not None and not fnmatch.fnmatch(sc.name, pattern):
+            continue
+        out.append(sc)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Summarizers: payload -> flat metrics.
+# --------------------------------------------------------------------------
+
+def _sum_nested_mlups(data: Mapping[str, Mapping[str, float]],
+                      wall: float) -> Dict[str, Metric]:
+    """fig3_left-style ``{group: {variant: mlups}}`` payloads."""
+    return {f"{group}/{variant}": Metric(value, unit="MLUP/s")
+            for group, variants in data.items()
+            for variant, value in variants.items()}
+
+
+def _sum_series_map(data: Mapping[str, Sequence[Tuple[object, float]]],
+                    wall: float, xname: str, unit: str) -> Dict[str, Metric]:
+    """``{label: [(x, y), ...]}`` payloads (fig3_right)."""
+    return {f"{label}/{xname}={x}": Metric(y, unit=unit)
+            for label, series in data.items()
+            for x, y in series}
+
+
+def _sum_fig5(data, wall: float) -> Dict[str, Metric]:
+    out: Dict[str, Metric] = {}
+    for h, series in data["advantage"].items():
+        for L, v in series:
+            out[f"advantage/h={h}/L={L}"] = Metric(v, unit="x")
+    for h, series in data["efficiency"].items():
+        for L, v in series:
+            out[f"efficiency/h={h}/L={L}"] = Metric(v, unit="frac")
+    return out
+
+
+def _sum_fig6(data, wall: float) -> Dict[str, Metric]:
+    out: Dict[str, Metric] = {}
+    for scaling in ("strong", "weak"):
+        for name, series in data[scaling].items():
+            gate = not name.startswith("ideal")
+            for nodes, glups in series:
+                out[f"{scaling}/{name}/nodes={nodes}"] = Metric(
+                    glups, unit="GLUP/s", gate=gate)
+    return out
+
+
+def _sum_model_validation(rows, wall: float) -> Dict[str, Metric]:
+    out: Dict[str, Metric] = {}
+    for r in rows:
+        T = int(r["T"])
+        out[f"T={T}/sim_mlups"] = Metric(r["sim_mlups"], unit="MLUP/s")
+        out[f"T={T}/model_mlups"] = Metric(r["model_mlups"], unit="MLUP/s")
+        out[f"T={T}/sim_speedup"] = Metric(r["sim_speedup"], unit="x",
+                                           gate=False)
+    return out
+
+
+def _sum_team_delay(series, wall: float) -> Dict[str, Metric]:
+    return {f"d_t={dt}": Metric(v, unit="MLUP/s") for dt, v in series}
+
+
+def _sum_block_size(rows, wall: float) -> Dict[str, Metric]:
+    out: Dict[str, Metric] = {}
+    for bx, mlups, reloads in rows:
+        out[f"b_x={bx}/mlups"] = Metric(mlups, unit="MLUP/s")
+        out[f"b_x={bx}/reloads"] = Metric(float(reloads), unit="blocks",
+                                          higher_is_better=False)
+    return out
+
+
+def _sum_nt_stores(vals, wall: float) -> Dict[str, Metric]:
+    return {name: Metric(v, unit="MLUP/s") for name, v in vals.items()}
+
+
+def _sum_stream(res, wall: float) -> Dict[str, Metric]:
+    # Host-clock measurement: informational, never gates CI.
+    return {"bandwidth": Metric(res.gbs(), unit="GB/s", gate=False)}
+
+
+def _sum_host_kernel(cells: int):
+    def summarize(payload, wall: float) -> Dict[str, Metric]:
+        return {"mlups": Metric(ratio(cells, wall) / 1e6,
+                                unit="MLUP/s", gate=False)}
+    return summarize
+
+
+def _sum_solve(payload, wall: float) -> Dict[str, Metric]:
+    cells = payload.stats.cells_updated if payload.stats else 0
+    return {
+        "mcups": Metric(ratio(cells, wall) / 1e6, unit="Mcell/s",
+                        gate=False),
+        "cells_updated": Metric(float(cells), unit="cells", gate=False),
+        # Communication volume is deterministic for a fixed scenario —
+        # a change is an algorithmic regression, not noise.
+        "bytes_exchanged": Metric(float(payload.bytes_exchanged), unit="B",
+                                  higher_is_better=False),
+        "messages": Metric(float(payload.messages), unit="msgs",
+                           higher_is_better=False),
+    }
+
+
+# --------------------------------------------------------------------------
+# Analytical-model predictions (repro.models) for `compare --model`.
+# --------------------------------------------------------------------------
+
+def _fig3_left_model() -> Dict[str, float]:
+    """Eq. 5 closed-form markers for the measured pipelined variants."""
+    from ..machine.presets import nehalem_ep
+    from ..models import nehalem_speedup_formula
+    from ..sim.baseline_sim import standard_jacobi_mlups
+
+    m = nehalem_ep()
+    out: Dict[str, float] = {}
+    for label, teams in (("socket", 1), ("node", 2)):
+        std = standard_jacobi_mlups(m, threads=4 * teams).mlups
+        out[f"{label}/pipeline relaxed T=1"] = \
+            nehalem_speedup_formula(1) * std
+        out[f"{label}/pipeline relaxed d_u=4"] = \
+            nehalem_speedup_formula(2) * std
+    return out
+
+
+#: The T sweep shared by the model_validation run and its prediction.
+MODEL_VALIDATION_T = (1, 2, 4)
+
+
+def _model_validation_model() -> Dict[str, float]:
+    """Eq. 5 prediction of the simulated MLUP/s per T."""
+    from ..machine.presets import nehalem_ep
+    from ..models import PipelineModel
+    from ..sim.baseline_sim import standard_jacobi_mlups
+
+    m = nehalem_ep()
+    std = standard_jacobi_mlups(m, threads=4).mlups
+    model = PipelineModel.from_machine(m)
+    return {f"T={T}/sim_mlups": model.speedup(4, T) * std
+            for T in MODEL_VALIDATION_T}
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations.
+# --------------------------------------------------------------------------
+
+def _figure_fn(name: str, kwargs: Mapping[str, object]):
+    """Late-bound figure generator so importing repro.perf stays cheap.
+
+    ``kwargs`` is the SAME mapping stored as the scenario's call params,
+    so the persisted JSON metadata cannot drift from what actually ran.
+    """
+    def call():
+        from ..bench import figures
+        return getattr(figures, name)(**kwargs)
+    return call
+
+
+def _register_figures() -> None:
+    for suite in SUITES:
+        shape = SUITE_SHAPES[suite]
+        scale = {"suites": (suite,), "kind": "figure"}
+
+        def figure(base: str, generator: str, call_kwargs, summarize,
+                   description: str, model=None, extra_params=None,
+                   _suite=suite, _scale=scale):
+            """One scale-dependent figure scenario; ``call_kwargs`` is
+            both the generator's argument list and (plus display-only
+            ``extra_params``) the persisted metadata."""
+            register(Scenario(
+                name=f"{base}@{_suite}",
+                fn=_figure_fn(generator, call_kwargs),
+                summarize=summarize,
+                params={**call_kwargs, **(extra_params or {})},
+                model=model,
+                description=description,
+                **_scale))
+
+        figure("fig3_left", "fig3_left", {"shape": shape},
+               _sum_nested_mlups,
+               "Fig. 3 (left): socket/node MLUP/s per variant",
+               model=_fig3_left_model,
+               extra_params={"threads_per_team": 4, "teams": [1, 2],
+                             "storage": "compressed"})
+        figure("fig3_right", "fig3_right",
+               {"shape": shape, "loosenesses": (0, 1, 2, 3, 4, 5)},
+               partial(_sum_series_map, xname="loose", unit="GLUP/s"),
+               "Fig. 3 (right): GLUP/s vs pipeline looseness")
+        figure("model_validation", "model_validation",
+               {"shape": shape, "T_values": MODEL_VALIDATION_T},
+               _sum_model_validation,
+               "Eq. 5 model vs simulation per T",
+               model=_model_validation_model)
+        figure("ablation_team_delay", "ablation_team_delay",
+               {"shape": shape, "delays": (0, 2, 4, 8, 16)},
+               _sum_team_delay, "E7: team delay d_t sweep")
+        figure("ablation_block_size", "ablation_block_size",
+               {"shape": shape, "bx_values": (30, 60, 120, 300)},
+               _sum_block_size, "E8: inner block length b_x sweep")
+        figure("ablation_nt_stores", "ablation_nt_stores",
+               {"shape": shape}, _sum_nt_stores,
+               "E9: storage scheme and NT stores")
+
+    # Pure analytic models — identical at every scale, in every suite.
+    fig5_kwargs = {"h_values": (2, 4, 8, 16, 32)}
+    register(Scenario(
+        name="fig5",
+        kind="figure",
+        suites=SUITES,
+        fn=_figure_fn("fig5_series", fig5_kwargs),
+        summarize=_sum_fig5,
+        params={**fig5_kwargs, "accounting": "paper"},
+        description="Fig. 5: multi-layer halo advantage (halo model)",
+    ))
+    fig6_kwargs = {"node_counts": (1, 8, 27, 64)}
+    register(Scenario(
+        name="fig6",
+        kind="figure",
+        suites=SUITES,
+        fn=_figure_fn("fig6_series", fig6_kwargs),
+        summarize=_sum_fig6,
+        params=fig6_kwargs,
+        description="Fig. 6: strong/weak cluster scaling (cluster model)",
+    ))
+
+
+#: Host-kernel problem sizes per suite (cube edge; real NumPy arrays).
+KERNEL_SIZES = {"quick": 64, "paper": 128, "stress": 192}
+#: Host STREAM working-set MB per suite.
+STREAM_MB = {"quick": 64, "paper": 128, "stress": 256}
+#: Functional-solver problems per suite:
+#: (grid edge, teams, threads/team, T, block, topology for simmpi).
+SOLVER_SIZES = {
+    "quick": (32, 2, 2, 2, (8, 64, 64), (2, 1, 1)),
+    "paper": (48, 2, 2, 2, (8, 64, 64), (2, 1, 1)),
+    "stress": (64, 2, 2, 2, (8, 64, 64), (2, 2, 1)),
+}
+
+
+def _kernel_setup(n: int):
+    def setup():
+        import numpy as np
+
+        from ..grid import Grid3D, random_field
+        from ..kernels.jacobi import jacobi_sweep_padded
+
+        grid = Grid3D((n, n, n))
+        src = grid.padded(random_field(grid.shape,
+                                       np.random.default_rng(0)))
+        return src, src.copy()
+    return setup
+
+
+def _solver_problem(suite: str):
+    import numpy as np
+
+    from ..core.parameters import PipelineConfig, RelaxedSpec
+    from ..grid import Grid3D, random_field
+
+    n, teams, tpt, T, block, topo = SOLVER_SIZES[suite]
+    grid = Grid3D((n, n, n))
+    field_ = random_field(grid.shape, np.random.default_rng(0))
+    cfg = PipelineConfig(teams=teams, threads_per_team=tpt,
+                         updates_per_thread=T, block_size=block,
+                         sync=RelaxedSpec(1, 4))
+    return grid, field_, cfg, topo
+
+
+def _register_kernels() -> None:
+    for suite in SUITES:
+        n = KERNEL_SIZES[suite]
+
+        def sweep(state, _n=n):
+            from ..kernels.jacobi import jacobi_sweep_padded
+            src, dst = state
+            jacobi_sweep_padded(src, dst)
+            return _n
+
+        def sweep_blocked(state, _n=n):
+            from ..kernels.jacobi import jacobi_sweep_blocked
+            src, dst = state
+            jacobi_sweep_blocked(src, dst, (_n, 20, 20))
+            return _n
+
+        register(Scenario(
+            name=f"jacobi_sweep@{suite}",
+            kind="kernel",
+            suites=(suite,),
+            setup=_kernel_setup(n),
+            fn=sweep,
+            summarize=_sum_host_kernel(n ** 3),
+            params={"n": n, "variant": "padded"},
+            description="Real vectorised Jacobi sweep on this host",
+        ))
+        register(Scenario(
+            name=f"jacobi_sweep_blocked@{suite}",
+            kind="kernel",
+            suites=(suite,),
+            setup=_kernel_setup(n),
+            fn=sweep_blocked,
+            summarize=_sum_host_kernel(n ** 3),
+            params={"n": n, "variant": "blocked", "block": (n, 20, 20)},
+            description="Spatially blocked Jacobi sweep on this host",
+        ))
+
+        def stream(_mb=STREAM_MB[suite]):
+            from ..machine.stream import host_stream_copy
+            return host_stream_copy(n_mb=_mb, repeats=3)
+
+        register(Scenario(
+            name=f"host_stream@{suite}",
+            kind="kernel",
+            suites=(suite,),
+            fn=stream,
+            summarize=_sum_stream,
+            params={"n_mb": STREAM_MB[suite]},
+            description="Host STREAM COPY bandwidth (numpy copyto)",
+        ))
+
+
+def _register_solvers() -> None:
+    for suite in SUITES:
+        n, teams, tpt, T, block, topo = SOLVER_SIZES[suite]
+        base_params = {"n": n, "teams": teams, "threads_per_team": tpt,
+                       "updates_per_thread": T, "block": block}
+
+        def solve_shared(_suite=suite, validate=False):
+            from ..core.pipeline import run_pipelined
+            grid, field_, cfg, _ = _solver_problem(_suite)
+            return run_pipelined(grid, field_, cfg, validate=validate)
+
+        def solve_simmpi(_suite=suite):
+            from ..api import solve
+            grid, field_, cfg, topo_ = _solver_problem(_suite)
+            return solve(grid, field_, cfg, topology=topo_,
+                         backend="simmpi")
+
+        register(Scenario(
+            name=f"solve_shared@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=solve_shared,
+            summarize=_sum_solve,
+            params={**base_params, "backend": "shared", "validate": False},
+            description="Functional pipelined executor (validation off)",
+        ))
+        register(Scenario(
+            name=f"solve_shared_validated@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=partial(solve_shared, validate=True),
+            summarize=_sum_solve,
+            params={**base_params, "backend": "shared", "validate": True},
+            description="Functional pipelined executor (validation on)",
+        ))
+        register(Scenario(
+            name=f"solve_simmpi@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=solve_simmpi,
+            summarize=_sum_solve,
+            params={**base_params, "backend": "simmpi", "topology": topo},
+            description="Distributed hybrid solve on simulated-MPI ranks",
+        ))
+
+
+_register_figures()
+_register_kernels()
+_register_solvers()

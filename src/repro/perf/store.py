@@ -1,0 +1,118 @@
+"""Results store: schema-versioned documents and per-run archives.
+
+Two kinds of artifact:
+
+* the **suite document** ``BENCH_<suite>.json`` — the canonical,
+  diffable snapshot that ``repro.perf compare`` consumes and CI gates
+  on; written to the working directory (or ``--out``), overwriting the
+  previous snapshot;
+* **per-run archives** under ``benchmarks/results/perf/`` — one
+  timestamped copy per invocation, so the perf trajectory accumulates
+  instead of being overwritten.
+
+Readers validate the schema string and refuse documents from a
+different layout version rather than mis-parsing them.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .schema import SCHEMA, RunRecord, SchemaError
+
+__all__ = [
+    "StoreError",
+    "make_document",
+    "save_document",
+    "load_document",
+    "records_of",
+    "default_path",
+    "archive_document",
+    "DEFAULT_ARCHIVE_DIR",
+]
+
+#: Where per-run archives go unless the caller overrides it.
+DEFAULT_ARCHIVE_DIR = Path("benchmarks") / "results" / "perf"
+
+
+class StoreError(SchemaError):
+    """A results file could not be read or fails schema validation."""
+
+
+def make_document(suite: str,
+                  records: Sequence[RunRecord],
+                  environment: Optional[Mapping[str, object]] = None,
+                  run_config: Optional[Mapping[str, object]] = None,
+                  ) -> Dict[str, object]:
+    """Assemble the on-disk document for one suite run."""
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "environment": dict(environment or {}),
+        "run_config": dict(run_config or {}),
+        "records": [r.to_dict() for r in records],
+    }
+
+
+def save_document(doc: Mapping[str, object], path: Path) -> Path:
+    """Write ``doc`` as stable, human-diffable JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_document(path: Path) -> Dict[str, object]:
+    """Read and validate a results document."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except OSError as exc:
+        raise StoreError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise StoreError(f"{path}: expected a JSON object at top level")
+    schema = raw.get("schema")
+    if schema != SCHEMA:
+        raise StoreError(
+            f"{path}: schema {schema!r} does not match {SCHEMA!r} "
+            "(written by an incompatible harness version?)")
+    if not isinstance(raw.get("records"), list):
+        raise StoreError(f"{path}: missing records list")
+    # Parse eagerly so malformed records fail at load, not mid-compare.
+    records_of(raw)
+    return raw
+
+
+def records_of(doc: Mapping[str, object]) -> List[RunRecord]:
+    """The document's records as typed objects."""
+    return [RunRecord.from_dict(r) for r in doc["records"]]  # type: ignore[index]
+
+
+def default_path(suite: str, directory: Optional[Path] = None) -> Path:
+    """``BENCH_<suite>.json`` in ``directory`` (default: cwd)."""
+    return Path(directory or ".") / f"BENCH_{suite}.json"
+
+
+def _timestamp_slug(doc: Mapping[str, object]) -> str:
+    ts = str(doc.get("environment", {}).get("timestamp", ""))  # type: ignore[union-attr]
+    slug = re.sub(r"[^0-9TZ]", "", ts)
+    return slug or "untimed"
+
+
+def archive_document(doc: Mapping[str, object],
+                     directory: Optional[Path] = None) -> Path:
+    """Append-style per-run record: ``<suite>-<utc timestamp>.json``."""
+    directory = Path(directory or DEFAULT_ARCHIVE_DIR)
+    name = f"{doc.get('suite', 'run')}-{_timestamp_slug(doc)}.json"
+    target = directory / name
+    # Never clobber an earlier archive from the same second.
+    counter = 1
+    while target.exists():
+        target = directory / f"{name[:-5]}-{counter}.json"
+        counter += 1
+    return save_document(doc, target)
