@@ -69,6 +69,8 @@ _DIST_EXPORTS = frozenset({
     "CartesianDecomposition",
     "ClusterModel",
     "Comm",
+    "ProcComm",
+    "ProcMPIError",
     "RankComm",
     "SimMPIError",
     "balanced_grid",
@@ -76,6 +78,7 @@ _DIST_EXPORTS = frozenset({
     "distributed_jacobi_sweeps",
     "exchange_plan",
     "fig6_variants",
+    "run_procs",
     "run_ranks",
 })
 
@@ -114,6 +117,8 @@ __all__ = [
     "CartesianDecomposition",
     "ClusterModel",
     "Comm",
+    "ProcComm",
+    "ProcMPIError",
     "RankComm",
     "SimMPIError",
     "balanced_grid",
@@ -121,6 +126,7 @@ __all__ = [
     "distributed_jacobi_sweeps",
     "exchange_plan",
     "fig6_variants",
+    "run_procs",
     "run_ranks",
     "BACKENDS",
     "solve",

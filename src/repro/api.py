@@ -8,11 +8,15 @@ instead of an import decision::
     res = repro.solve(grid, field, cfg)                           # shared
     res = repro.solve(grid, field, cfg, topology=(2, 2, 1),
                       backend="simmpi")                           # 4 ranks
+    res = repro.solve(grid, field, cfg, topology=(1, 1, 2),
+                      backend="procmpi")                          # 2 processes
 
-Both calls return a :class:`~repro.core.pipeline.SolveResult`; on a
-``(1, 1, 1)`` topology the two backends produce bit-identical fields
+All calls return a :class:`~repro.core.pipeline.SolveResult`; on a
+``(1, 1, 1)`` topology the backends produce bit-identical fields
 (the degenerate distributed run has an empty exchange plan and drives
-the identical executor schedule).
+the identical executor schedule), and on any topology ``simmpi`` and
+``procmpi`` are bit-identical to each other (same per-rank body, same
+exchange plan — only the transport differs).
 
 Backends
 --------
@@ -21,7 +25,11 @@ Backends
     :func:`repro.core.pipeline.run_pipelined`.
 ``"simmpi"``
     One thread-backed simulated-MPI rank per subdomain —
-    :func:`repro.dist.solver.distributed_jacobi_pipelined`.  A real MPI
+    :func:`repro.dist.solver.distributed_jacobi_pipelined`.
+``"procmpi"``
+    One OS process per subdomain (:mod:`repro.dist.procmpi`), fields
+    and halo rings in :mod:`multiprocessing.shared_memory` blocks —
+    real rank overlap without an MPI installation.  A real MPI
     deployment implements the same :class:`repro.dist.comm.Comm`
     protocol (see :class:`repro.dist.comm.MPI4PyComm`).
 """
@@ -40,7 +48,7 @@ from .kernels.stencils import StarStencil
 __all__ = ["BACKENDS", "solve"]
 
 #: Execution backends understood by :func:`solve`.
-BACKENDS = ("shared", "simmpi")
+BACKENDS = ("shared", "simmpi", "procmpi")
 
 
 def _check_topology(topology: Optional[Sequence[int]]) -> Tuple[int, int, int]:
@@ -74,7 +82,8 @@ def solve(
         Process grid ``(Pz, Py, Px)``; defaults to ``(1, 1, 1)``.  The
         shared backend is single-process and rejects anything else.
     backend:
-        ``"shared"`` or ``"simmpi"`` (see module docstring).
+        ``"shared"``, ``"simmpi"`` or ``"procmpi"`` (see module
+        docstring).
     stencil:
         Optional radius-1 star stencil (defaults to the 7-point Jacobi).
 
@@ -92,11 +101,11 @@ def solve(
         if topo != (1, 1, 1):
             raise ValueError(
                 f"the shared backend is single-process; topology {topo} "
-                "needs backend='simmpi'")
+                "needs backend='simmpi' or 'procmpi'")
         return run_pipelined(grid, field, config, stencil=stencil)
     # Imported lazily, mirroring the top-level re-exports: the shared
     # backend must work even where the distributed rail is unavailable.
     from .dist.solver import distributed_jacobi_pipelined
 
     return distributed_jacobi_pipelined(grid, field, topo, config,
-                                        stencil=stencil)
+                                        stencil=stencil, transport=backend)

@@ -7,11 +7,13 @@ Built from five pieces, bottom-up:
 * :mod:`~repro.dist.exchange` — the 3-phase ghost-cell-expansion
   exchange geometry (Fig. 4): six messages carry faces, edges *and*
   corners of an ``h``-layer halo;
-* :mod:`~repro.dist.comm` / :mod:`~repro.dist.simmpi` — the transport
-  protocol and its thread-backed simulated-MPI implementation (a real
+* :mod:`~repro.dist.comm` / :mod:`~repro.dist.simmpi` /
+  :mod:`~repro.dist.procmpi` — the transport protocol and its two
+  implementations: thread-backed simulated MPI and true multiprocess
+  ranks over :mod:`~repro.dist.shm` shared-memory blocks (a real
   ``mpi4py`` adapter slots into the same protocol);
 * :mod:`~repro.dist.solver` — the multi-halo Jacobi and hybrid pipelined
-  solvers, returning the unified
+  solvers, transport-agnostic, returning the unified
   :class:`~repro.core.pipeline.SolveResult`;
 * :mod:`~repro.dist.cluster_sim` — the Fig. 6 strong/weak cluster
   scaling model on top of the node models and the Hockney network.
@@ -20,8 +22,14 @@ Built from five pieces, bottom-up:
 from .comm import Comm, MPI4PyComm
 from .decomp import CartesianDecomposition, RankGeometry
 from .exchange import exchange_plan, plan_bytes
+from .procmpi import ProcComm, ProcMPIError, run_procs
+from .shm import ShmPool, live_segments
 from .simmpi import RankComm, SimMPIError, run_ranks
-from .solver import distributed_jacobi_pipelined, distributed_jacobi_sweeps
+from .solver import (
+    TRANSPORTS,
+    distributed_jacobi_pipelined,
+    distributed_jacobi_sweeps,
+)
 from .cluster_sim import (
     ClusterModel,
     Fig6Variant,
@@ -40,6 +48,12 @@ __all__ = [
     "RankComm",
     "SimMPIError",
     "run_ranks",
+    "ProcComm",
+    "ProcMPIError",
+    "run_procs",
+    "ShmPool",
+    "live_segments",
+    "TRANSPORTS",
     "distributed_jacobi_sweeps",
     "distributed_jacobi_pipelined",
     "ClusterModel",

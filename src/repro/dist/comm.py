@@ -4,7 +4,9 @@ The solvers in :mod:`repro.dist.solver` are written against this small
 protocol rather than a concrete transport, so the same code runs on
 
 * :class:`repro.dist.simmpi.RankComm` — the thread-backed simulated MPI
-  used by the test-suite and the examples (no external dependencies), and
+  used by the test-suite and the examples (no external dependencies),
+* :class:`repro.dist.procmpi.ProcComm` — true multiprocess ranks with
+  shared-memory fields and halo rings (the ``procmpi`` backend), and
 * a real MPI library via :class:`MPI4PyComm`, a thin adapter that slots
   in when ``mpi4py`` is available (it is deliberately *not* imported at
   module load, so the package works on machines without MPI).
@@ -19,10 +21,25 @@ the property the 3-phase exchange relies on.
 
 from __future__ import annotations
 
+import copy as _copy
 from abc import ABC, abstractmethod
 from typing import Any, List, Optional
 
-__all__ = ["Comm", "MPI4PyComm"]
+import numpy as np
+
+__all__ = ["Comm", "MPI4PyComm", "snapshot"]
+
+
+def snapshot(data: Any) -> Any:
+    """Copy-on-send: detach a message from the sender's buffer.
+
+    Shared by every transport that implements buffered sends (simmpi's
+    queues, procmpi's pickled envelopes and root-local gather values),
+    so the copy semantics cannot diverge between them.
+    """
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    return _copy.deepcopy(data)
 
 
 class Comm(ABC):

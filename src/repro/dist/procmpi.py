@@ -1,0 +1,525 @@
+"""Process-backed MPI: run N ranks as real OS processes.
+
+The thread rail (:mod:`repro.dist.simmpi`) overlaps ranks only while
+NumPy releases the GIL; this transport runs one *process* per rank via
+:mod:`multiprocessing`, so ranks overlap unconditionally and the rail
+exercises genuine process isolation — separate address spaces, pickled
+problem specs, shared-memory halo traffic, and process lifecycle (spawn
+vs fork, crash recovery, segment cleanup).
+
+:class:`ProcComm` implements the same :class:`repro.dist.comm.Comm`
+protocol with the same three documented guarantees:
+
+* **copy-on-send** — the message is detached from the sender's buffer at
+  the moment ``send`` returns (copied into a shared-memory slot, or
+  pickled immediately), so consecutive buffered sends cannot deadlock;
+* **source-ordered delivery** — messages between one (src, dst) pair
+  arrive in send order (single inbox queue per rank; per-producer FIFO);
+* **fail-fast collectives** — when any rank raises (or dies outright),
+  the others are released from barriers, receives and full send rings
+  with :class:`ProcMPIError` instead of hanging, and :func:`run_procs`
+  re-raises the original exception in the parent.
+
+Transport
+---------
+Array messages ride in preallocated **halo rings**: per ordered rank
+pair, a shared-memory block of ``slots`` fixed-size slots guarded by a
+semaphore (flow control), with only a tiny envelope going through the
+inbox :class:`multiprocessing.Queue`.  Anything that does not fit a slot
+— collectives, stats objects, oversized arrays — falls back to an
+eagerly pickled envelope, which preserves the semantics at pipe cost.
+
+Spawn vs fork
+-------------
+The start method defaults to ``fork`` where available (Linux; cheap, and
+closures work) and ``spawn`` elsewhere (macOS/Windows default; requires
+the rank function and its arguments to be picklable).  Override with the
+``REPRO_PROCMPI_START`` environment variable or the ``start_method``
+argument.  Under ``spawn``/``forkserver`` the pickle requirement is
+checked up front so the error is a clear :class:`ProcMPIError` rather
+than a truncated traceback from a dying child.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as _queue
+import threading
+import traceback
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .comm import Comm, snapshot as _snapshot
+from .shm import ShmBlockHandle, ShmPool, attach_block
+
+__all__ = ["ProcMPIError", "ProcComm", "run_procs", "default_start_method"]
+
+#: How long a blocked receive/barrier/ring-send waits before concluding
+#: the run is wedged (mirrors ``simmpi.DEFAULT_TIMEOUT``).
+DEFAULT_TIMEOUT = 120.0
+_POLL = 0.05
+#: Ring slots are padded to this alignment.
+_SLOT_ALIGN = 64
+#: Outstanding messages allowed per ordered pair before a send blocks.
+DEFAULT_SLOTS = 2
+
+
+class ProcMPIError(RuntimeError):
+    """A process-MPI failure: timeout, aborted/dead peer, or bad rank."""
+
+
+def default_start_method() -> str:
+    """``REPRO_PROCMPI_START`` if set, else fork where available."""
+    env = os.environ.get("REPRO_PROCMPI_START")
+    if env:
+        return env
+    import multiprocessing as mp
+
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _abort_released(msg: str) -> ProcMPIError:
+    """An error raised because *another* rank failed (not a root cause).
+
+    The tag survives pickling (exception ``__dict__`` rides along), so
+    the parent can re-raise a genuine :class:`ProcMPIError` root cause
+    — a bad peer rank, a ring-order violation — in preference to the
+    release errors it triggered in the other ranks.
+    """
+    exc = ProcMPIError(msg)
+    exc.abort_induced = True
+    return exc
+
+
+@dataclass(frozen=True)
+class _Ring:
+    """One ordered pair's flow-controlled shared-memory slots."""
+
+    handle: ShmBlockHandle
+    slot_bytes: int
+    slots: int
+    sem: Any  # multiprocessing BoundedSemaphore(slots)
+
+
+@dataclass
+class _Links:
+    """Everything a rank process needs; passed at Process creation.
+
+    All members are either picklable descriptors or multiprocessing
+    primitives, which may be inherited through ``Process`` arguments
+    under every start method.
+    """
+
+    size: int
+    timeout: float
+    abort: Any       # mp.Event
+    barrier: Any     # mp.Barrier(size)
+    inboxes: List[Any]   # one mp.Queue per rank
+    result_q: Any    # mp.Queue back to the parent
+    rings: Dict[Tuple[int, int], _Ring]
+
+
+class ProcComm(Comm):
+    """One rank's endpoint over the multiprocess transport."""
+
+    def __init__(self, rank: int, links: _Links) -> None:
+        self.rank = int(rank)
+        self.size = links.size
+        self._links = links
+        #: Messages dequeued while waiting for a different (src, channel).
+        self._stash: Dict[Tuple[int, str], Deque[Any]] = defaultdict(deque)
+        #: Ring positions: shm messages sent per dest / decoded per src.
+        self._sent: Dict[int, int] = defaultdict(int)
+        self._decoded: Dict[int, int] = defaultdict(int)
+        self._attached: Dict[Tuple[int, int], Any] = {}
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ProcMPIError(f"rank {peer} outside world of size {self.size}")
+        if peer == self.rank:
+            raise ProcMPIError("self-messaging is not supported")
+
+    def _ring_buf(self, pair: Tuple[int, int]):
+        shm = self._attached.get(pair)
+        if shm is None:
+            shm = attach_block(self._links.rings[pair].handle)
+            self._attached[pair] = shm
+        return shm.buf
+
+    def _wait(self, ready: Callable[[], bool], what: str) -> None:
+        """Poll ``ready`` until true, abort, or timeout (fail-fast)."""
+        waited = 0.0
+        while True:
+            if self._links.abort.is_set():
+                raise _abort_released(f"{what} aborted: another rank failed")
+            if ready():
+                return
+            waited += _POLL
+            if waited >= self._links.timeout:
+                raise ProcMPIError(
+                    f"rank {self.rank}: {what} timed out after "
+                    f"{self._links.timeout:.0f}s (deadlocked exchange or "
+                    "dead peer?)")
+
+    def _decode(self, env: Tuple) -> Tuple[int, str, Any]:
+        """Envelope -> (src, channel, value); frees ring slots eagerly.
+
+        Decoding happens at *dequeue* time even for stashed messages, so
+        a slot is never held hostage by an out-of-order receive and the
+        sender's semaphore is released as early as possible.
+        """
+        kind, channel, src = env[0], env[1], env[2]
+        if kind == "pkl":
+            return src, channel, pickle.loads(env[3])
+        # kind == "shm": (slot, shape, dtype.str)
+        slot, shape, dtype = env[3], env[4], env[5]
+        ring = self._links.rings[(src, self.rank)]
+        expect = self._decoded[src] % ring.slots
+        if slot != expect:  # pragma: no cover - internal invariant
+            raise ProcMPIError(
+                f"rank {self.rank}: ring slot {slot} from rank {src}, "
+                f"expected {expect} (ordering violated)")
+        buf = self._ring_buf((src, self.rank))
+        n = int(np.prod(shape)) if shape else 1
+        vals = np.frombuffer(buf, dtype=np.dtype(dtype), count=n,
+                             offset=slot * ring.slot_bytes)
+        out = vals.reshape(shape).copy()
+        del vals
+        self._decoded[src] += 1
+        ring.sem.release()
+        return src, channel, out
+
+    def _get(self, src: int, channel: str, what: str) -> Any:
+        stash = self._stash[(src, channel)]
+        if stash:
+            return stash.popleft()
+        inbox = self._links.inboxes[self.rank]
+        while True:
+            got: List[Any] = []
+
+            def ready() -> bool:
+                try:
+                    got.append(inbox.get(timeout=_POLL))
+                    return True
+                except _queue.Empty:
+                    return False
+
+            self._wait(ready, what)
+            sender, chan, value = self._decode(got[0])
+            if (sender, chan) == (src, channel):
+                return value
+            self._stash[(sender, chan)].append(value)
+
+    def _put(self, dest: int, data: Any, channel: str) -> None:
+        ring = self._links.rings.get((self.rank, dest))
+        if (channel == "p2p" and ring is not None
+                and isinstance(data, np.ndarray)
+                and not data.dtype.hasobject
+                and 0 < data.nbytes <= ring.slot_bytes):
+            self._wait(lambda: ring.sem.acquire(timeout=_POLL),
+                       f"send to rank {dest} (ring full)")
+            slot = self._sent[dest] % ring.slots
+            self._sent[dest] += 1
+            flat = np.ascontiguousarray(data)
+            dst = np.frombuffer(self._ring_buf((self.rank, dest)), np.uint8,
+                                count=flat.nbytes,
+                                offset=slot * ring.slot_bytes)
+            dst[:] = flat.reshape(-1).view(np.uint8)
+            del dst
+            env = ("shm", channel, self.rank, slot, data.shape,
+                   data.dtype.str)
+        else:
+            # Eager pickling *is* the copy-on-send snapshot: the sender
+            # may mutate its buffer the moment this returns.
+            env = ("pkl", channel, self.rank,
+                   pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL))
+        self._links.inboxes[dest].put(env)
+
+    def close(self) -> None:
+        """Drop this rank's ring mappings (parent owns the segments)."""
+        attached, self._attached = self._attached, {}
+        for shm in attached.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+
+    # -- point-to-point ----------------------------------------------------------
+
+    def send(self, dest: int, data: Any) -> None:
+        """Buffered send: the message is detached from ``data`` now."""
+        self._check_peer(dest)
+        self._put(dest, data, "p2p")
+
+    def recv(self, src: int) -> Any:
+        """Blocking receive of the next message from ``src``."""
+        self._check_peer(src)
+        return self._get(src, "p2p", f"recv from rank {src}")
+
+    def sendrecv(self, dest: int, data: Any, src: int) -> Any:
+        """Exchange: buffered send to ``dest``, then receive from ``src``."""
+        self.send(dest, data)
+        return self.recv(src)
+
+    # -- collectives -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks; raises :class:`ProcMPIError` on abort."""
+        try:
+            self._links.barrier.wait(timeout=self._links.timeout)
+        except threading.BrokenBarrierError:
+            msg = f"rank {self.rank}: barrier broken (peer failed or timeout)"
+            if self._links.abort.is_set():
+                raise _abort_released(msg) from None
+            raise ProcMPIError(msg) from None
+
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        """Rank-ordered list of everyone's ``value`` at ``root``, else None."""
+        if self.rank == root:
+            out: List[Any] = []
+            for src in range(self.size):
+                if src == root:
+                    out.append(_snapshot(value))
+                else:
+                    out.append(self._get(src, "coll",
+                                         f"gather from rank {src}"))
+            return out
+        self._put(root, value, "coll")
+        return None
+
+    def _bcast(self, value: Any, root: int) -> Any:
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self._put(dst, value, "coll")
+            return value
+        return self._get(root, "coll", f"bcast from rank {root}")
+
+    def allreduce_max(self, value: float) -> float:
+        """Global maximum, available on every rank (gather + broadcast)."""
+        gathered = self.gather(value, root=0)
+        result = max(gathered) if self.rank == 0 else None
+        return self._bcast(result, root=0)
+
+
+# ---------------------------------------------------------------------------
+# The driver: spawn ranks, collect results, tear everything down.
+# ---------------------------------------------------------------------------
+
+def _child_main(rank: int, links: _Links, fn: Callable, args: Tuple) -> None:
+    """Entry point of one rank process."""
+    comm = ProcComm(rank, links)
+    try:
+        out = fn(comm, rank, *args)
+    except BaseException as exc:  # noqa: BLE001 — must reach the parent
+        links.abort.set()
+        try:
+            links.barrier.abort()
+        except Exception:
+            pass
+        try:
+            payload: Optional[bytes] = pickle.dumps(exc)
+        except Exception:
+            payload = None
+        links.result_q.put(("err", rank, payload, repr(exc),
+                            traceback.format_exc()))
+        # The world is aborting: nobody will drain our outbound halo
+        # messages, and a blocked queue feeder would turn this rank into
+        # a zombie.  Discard instead of flushing.
+        for q in links.inboxes:
+            try:
+                q.cancel_join_thread()
+            except Exception:
+                pass
+    else:
+        links.result_q.put(("ok", rank, out))
+    finally:
+        comm.close()
+
+
+def _make_rings(ctx, pool: ShmPool,
+                pair_bytes: Optional[Mapping[Tuple[int, int], int]],
+                slots: int, n_ranks: int) -> Dict[Tuple[int, int], _Ring]:
+    rings: Dict[Tuple[int, int], _Ring] = {}
+    for (src, dst), nbytes in (pair_bytes or {}).items():
+        if not (0 <= src < n_ranks and 0 <= dst < n_ranks and src != dst):
+            raise ValueError(f"bad ring pair ({src}, {dst}) for "
+                             f"{n_ranks} ranks")
+        if nbytes <= 0:
+            continue
+        slot_bytes = -(-int(nbytes) // _SLOT_ALIGN) * _SLOT_ALIGN
+        handle = pool.create_block(slot_bytes * slots)
+        rings[(src, dst)] = _Ring(handle=handle, slot_bytes=slot_bytes,
+                                  slots=slots, sem=ctx.BoundedSemaphore(slots))
+    return rings
+
+
+def _reconstruct(msg: Tuple) -> BaseException:
+    """Rebuild a child exception from its ("err", ...) report."""
+    _, rank, payload, rep, tb = msg
+    if payload is not None:
+        try:
+            exc = pickle.loads(payload)
+            if isinstance(exc, BaseException):
+                return exc
+        except Exception:
+            pass
+    return ProcMPIError(f"rank {rank} failed: {rep}\n{tb}")
+
+
+def run_procs(n_ranks: int, fn: Callable[..., Any],
+              args: Tuple = (),
+              timeout: float = DEFAULT_TIMEOUT,
+              start_method: Optional[str] = None,
+              pair_bytes: Optional[Mapping[Tuple[int, int], int]] = None,
+              slots: int = DEFAULT_SLOTS) -> List[Any]:
+    """Execute ``fn(comm, rank, *args)`` on ``n_ranks`` OS processes.
+
+    Returns the per-rank return values in rank order.  If any rank
+    raises, the world is aborted (peers blocked in receives, sends and
+    barriers are released with :class:`ProcMPIError`) and the *original*
+    exception is re-raised in the caller; a rank that dies without
+    reporting (killed, segfault) is detected by the parent and surfaces
+    as a :class:`ProcMPIError` naming the exit code.  All shared-memory
+    segments are unlinked and all rank processes joined or terminated
+    before this function returns, success or not.
+
+    Parameters
+    ----------
+    pair_bytes:
+        Optional ``{(src, dst): max_message_bytes}`` map; listed pairs
+        get preallocated shared-memory halo rings (``slots`` outstanding
+        messages each).  Unlisted traffic uses pickled envelopes.
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"``; defaults to
+        :func:`default_start_method`.  Non-fork methods require ``fn``
+        and ``args`` (and the return values) to be picklable.
+    """
+    import multiprocessing as mp
+
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if slots < 1:
+        raise ValueError("need at least one ring slot")
+    method = start_method or default_start_method()
+    if method not in mp.get_all_start_methods():
+        raise ProcMPIError(
+            f"start method {method!r} unavailable on this platform "
+            f"(have {mp.get_all_start_methods()}); check "
+            "REPRO_PROCMPI_START")
+    ctx = mp.get_context(method)
+    if method != "fork":
+        try:
+            pickle.dumps((fn, args))
+        except Exception as exc:
+            raise ProcMPIError(
+                f"start method {method!r} must pickle the rank function "
+                f"and its arguments: {exc!r}; use module-level functions "
+                "and picklable specs (or the fork start method)") from exc
+
+    pool = ShmPool()
+    procs: List[Any] = []
+    results: List[Any] = [None] * n_ranks
+    errors: List[Optional[BaseException]] = [None] * n_ranks
+    #: Parent-synthesized errors for ranks that died without reporting —
+    #: these are the root cause and outrank the peers' abort errors.
+    death_errors: List[Optional[BaseException]] = [None] * n_ranks
+    inboxes = [ctx.Queue() for _ in range(n_ranks)]
+    result_q = ctx.Queue()
+    abort = ctx.Event()
+    barrier = ctx.Barrier(n_ranks)
+    try:
+        rings = _make_rings(ctx, pool, pair_bytes, slots, n_ranks)
+        links = _Links(size=n_ranks, timeout=timeout, abort=abort,
+                       barrier=barrier, inboxes=inboxes, result_q=result_q,
+                       rings=rings)
+        procs = [ctx.Process(target=_child_main, args=(r, links, fn, args),
+                             name=f"procmpi-rank-{r}", daemon=True)
+                 for r in range(n_ranks)]
+        for p in procs:
+            p.start()
+
+        def do_abort() -> None:
+            abort.set()
+            try:
+                barrier.abort()
+            except Exception:  # pragma: no cover
+                pass
+
+        reported = [False] * n_ranks
+
+        def record(msg: Tuple) -> None:
+            rank = msg[1]
+            reported[rank] = True
+            if msg[0] == "ok":
+                results[rank] = msg[2]
+            else:
+                errors[rank] = _reconstruct(msg)
+                do_abort()
+
+        # No global wall-clock cap here: `timeout` bounds *blocked*
+        # communication inside the ranks (they self-report a
+        # ProcMPIError when wedged), never healthy computation — a
+        # long-running solve must be allowed to run, exactly as on the
+        # thread transport.  The parent only watches for ranks that die
+        # without reporting (killed, segfaulted).
+        while not all(reported):
+            try:
+                record(result_q.get(timeout=_POLL))
+                continue
+            except _queue.Empty:
+                pass
+            for r, p in enumerate(procs):
+                if not reported[r] and not p.is_alive():
+                    # Dead without a report — unless its message is
+                    # still in flight in the result pipe.
+                    try:
+                        record(result_q.get(timeout=0.5))
+                    except _queue.Empty:
+                        reported[r] = True
+                        death_errors[r] = ProcMPIError(
+                            f"rank {r} died without reporting "
+                            f"(exit code {p.exitcode})")
+                        do_abort()
+                    break
+        for p in procs:
+            p.join(timeout=10.0)
+    finally:
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - wedged child
+                p.terminate()
+                p.join(timeout=5.0)
+                if p.is_alive():
+                    p.kill()
+                    p.join(timeout=5.0)
+        for q in [result_q, *inboxes]:
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        pool.cleanup()
+
+    # Root cause first: a hard death, then a real child exception, then
+    # a ProcMPIError that was not merely an abort release (bad peer,
+    # ring violation, timeout), and only then the release errors the
+    # root cause triggered in its peers.
+    for exc in death_errors:
+        if exc is not None:
+            raise exc
+    for exc in errors:
+        if exc is not None and not isinstance(exc, ProcMPIError):
+            raise exc
+    for exc in errors:
+        if exc is not None and not getattr(exc, "abort_induced", False):
+            raise exc
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

@@ -19,14 +19,11 @@ match the paper's MPI usage where it matters:
 
 from __future__ import annotations
 
-import copy as _copy
 import queue
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-import numpy as np
-
-from .comm import Comm
+from .comm import Comm, snapshot as _snapshot
 
 __all__ = ["SimMPIError", "RankComm", "run_ranks"]
 
@@ -38,13 +35,6 @@ _POLL = 0.05
 
 class SimMPIError(RuntimeError):
     """A simulated-MPI failure: timeout, aborted peer, or bad rank."""
-
-
-def _snapshot(data: Any) -> Any:
-    """Copy-on-send: detach the message from the sender's buffer."""
-    if isinstance(data, np.ndarray):
-        return data.copy()
-    return _copy.deepcopy(data)
 
 
 class _World:

@@ -17,6 +17,16 @@ Two front-ends, both returning the unified
   ranks run the 3-phase ghost-cell-expansion exchange of
   :mod:`repro.dist.exchange` over a :class:`~repro.dist.comm.Comm`.
 
+Both front-ends run on either **transport**: ``"simmpi"`` executes one
+thread per rank (:func:`repro.dist.simmpi.run_ranks`), ``"procmpi"`` one
+OS process per rank (:func:`repro.dist.procmpi.run_procs`) with the
+global field, the assembled result and the halo rings living in
+:mod:`multiprocessing.shared_memory` blocks.  The per-rank algorithm is
+*one* function shared by both transports (:func:`_sweeps_rank_body` /
+:func:`_pipelined_rank_body`), so the transports cannot diverge — the
+cross-backend differential battery in ``tests/test_backend_equivalence``
+pins them bit-identical to each other.
+
 Every ghost cell a rank updates is *also* updated by its owner from the
 same inputs, so the redundant trapezoid work is bit-consistent across
 ranks and the assembled field matches the single-domain solver to
@@ -25,6 +35,7 @@ floating-point accuracy — which ``tests/test_dist.py`` pins at 1e-13.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,11 +51,23 @@ from ..kernels.stencils import StarStencil
 from .comm import Comm
 from .decomp import CartesianDecomposition, RankGeometry
 from .exchange import ExchangeEntry, exchange_plan
+from .procmpi import run_procs
+from .shm import ShmArrayHandle, ShmPool, attach_array
 from .simmpi import run_ranks
 
-__all__ = ["distributed_jacobi_sweeps", "distributed_jacobi_pipelined"]
+__all__ = ["TRANSPORTS", "distributed_jacobi_sweeps",
+           "distributed_jacobi_pipelined"]
 
 Coord = Tuple[int, int, int]
+
+#: Rank transports understood by the distributed front-ends.
+TRANSPORTS = ("simmpi", "procmpi")
+
+
+def _check_transport(transport: str) -> None:
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; choose from {TRANSPORTS}")
 
 
 def _shifted_boundary(boundary: DirichletBoundary, off: Coord) -> DirichletBoundary:
@@ -100,6 +123,18 @@ def _prepare(grid: Grid3D, field: np.ndarray, proc_grid: Sequence[int],
     return decomp, plans
 
 
+def _pair_bytes(plans: List[List[ExchangeEntry]],
+                dtype) -> dict:
+    """Max message bytes per ordered rank pair (sizes the halo rings)."""
+    itemsize = np.dtype(dtype).itemsize
+    out: dict = {}
+    for rank, plan in enumerate(plans):
+        for (_, _, peer, send, _) in plan:
+            key = (rank, peer)
+            out[key] = max(out.get(key, 0), send.ncells * itemsize)
+    return out
+
+
 def _assemble(grid: Grid3D,
               pieces: List[Tuple[Box, np.ndarray]]) -> np.ndarray:
     """Stitch the rank cores back into one global interior array."""
@@ -109,8 +144,194 @@ def _assemble(grid: Grid3D,
     return out
 
 
+def _merge_stats(per_rank: Sequence[ExecutionStats]) -> ExecutionStats:
+    """Aggregate executor counters across ranks."""
+    stats = ExecutionStats()
+    for rank_stats in per_rank:
+        stats.block_ops += rank_stats.block_ops
+        stats.empty_block_ops += rank_stats.empty_block_ops
+        stats.updates += rank_stats.updates
+        stats.cells_updated += rank_stats.cells_updated
+        stats.max_counter_gap = max(stats.max_counter_gap,
+                                    rank_stats.max_counter_gap)
+    return stats
+
+
 def _neg(off: Coord) -> Coord:
     return (-off[0], -off[1], -off[2])
+
+
+# ---------------------------------------------------------------------------
+# Per-rank algorithm bodies, shared by the thread and process transports.
+# ---------------------------------------------------------------------------
+
+def _sweeps_rank_body(comm: Comm, rank: int, boundary: DirichletBoundary,
+                      dtype, decomp: CartesianDecomposition,
+                      plan: List[ExchangeEntry], stored_field: np.ndarray,
+                      supersteps: int, halo: int, stencil: StarStencil,
+                      ) -> Tuple[Box, np.ndarray, int, int]:
+    """One rank of the multi-halo sweeps scheme.
+
+    ``stored_field`` holds the rank's stored-box values (a view is fine;
+    it is copied immediately).  Returns the global core box, its final
+    values, and the traffic counters.
+    """
+    geo = decomp.geometry(rank)
+    off = geo.stored.lo
+    neg = _neg(off)
+    lgrid = Grid3D(geo.stored.shape,
+                   boundary=_shifted_boundary(boundary, off),
+                   dtype=dtype)
+    # Padded pair: local stored box + the one-cell Dirichlet ring.
+    cur = lgrid.padded(np.ascontiguousarray(stored_field))
+    nxt = cur.copy()
+    core_l = geo.core.shift(neg)
+    nbytes = messages = 0
+
+    def extract(box: Box) -> np.ndarray:
+        return cur[box.shift(neg).slices((1, 1, 1))].copy()
+
+    def inject(box: Box, vals: np.ndarray) -> None:
+        cur[box.shift(neg).slices((1, 1, 1))] = vals
+
+    for _ in range(supersteps):
+        b, m = _run_exchange(comm, plan, extract, inject)
+        nbytes += b
+        messages += m
+        for s in range(1, halo + 1):
+            region = core_l.grow(halo - s).intersect(lgrid.domain)
+            reference_sweep_region(cur, nxt, region.lo, region.hi, stencil)
+            cur, nxt = nxt, cur
+    return geo.core, cur[core_l.slices((1, 1, 1))].copy(), nbytes, messages
+
+
+def _pipelined_rank_body(comm: Comm, rank: int, boundary: DirichletBoundary,
+                         dtype, decomp: CartesianDecomposition,
+                         plan: List[ExchangeEntry], stored_field: np.ndarray,
+                         config: PipelineConfig, stencil: StarStencil,
+                         order: str, validate: bool,
+                         ) -> Tuple[Box, np.ndarray, int, int, ExecutionStats]:
+    """One rank of the hybrid scheme: pipelined executor + halo exchange."""
+    h = config.updates_per_pass
+    geo = decomp.geometry(rank)
+    off = geo.stored.lo
+    neg = _neg(off)
+    lgrid = Grid3D(geo.stored.shape,
+                   boundary=_shifted_boundary(boundary, off),
+                   dtype=dtype)
+    core_l = geo.core.shift(neg)
+
+    def active_fn(level: int) -> Box:
+        # Pass-local update u covers the core + (h - u) ghost layers:
+        # the shrinking trapezoid; the executor clips to the stored box.
+        u = (level - 1) % h + 1
+        return core_l.grow(h - u)
+
+    ex = PipelineExecutor(
+        lgrid, np.ascontiguousarray(stored_field),
+        config, stencil, order=order, active_fn=active_fn, validate=validate,
+    )
+    storage = ex.storage
+    nbytes = messages = 0
+    for p in range(config.passes):
+        base = p * h
+
+        def extract(box: Box, base: int = base) -> np.ndarray:
+            return storage.extract_region(box.shift(neg), base)
+
+        def inject(box: Box, vals: np.ndarray, base: int = base) -> None:
+            storage.inject(box.shift(neg), base, vals)
+
+        b, m = _run_exchange(comm, plan, extract, inject)
+        nbytes += b
+        messages += m
+        ex.run_pass(p)
+    final = config.passes * h
+    core_vals = storage.extract_region(core_l, final)
+    return geo.core, core_vals, nbytes, messages, ex.stats
+
+
+# ---------------------------------------------------------------------------
+# procmpi rank entry points: module-level (spawn-picklable) wrappers that
+# resolve shared-memory fields, rebuild the geometry, and run the bodies.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ProcTask:
+    """Picklable problem description shipped to every rank process.
+
+    The rank rebuilds the (cheap, deterministic) decomposition and its
+    exchange plan locally instead of shipping every rank's plan to every
+    process; only the field data travels through shared memory.
+    """
+
+    shape: Coord
+    dtype: str
+    boundary: DirichletBoundary
+    proc_grid: Coord
+    halo: int
+    stencil: StarStencil
+    field_in: ShmArrayHandle
+    field_out: ShmArrayHandle
+    # sweeps parameters
+    supersteps: int = 0
+    # pipelined parameters
+    config: Optional[PipelineConfig] = None
+    order: str = "round_robin"
+    validate: bool = True
+
+
+def _proc_sweeps_entry(comm: Comm, rank: int, task: _ProcTask):
+    decomp = CartesianDecomposition(task.shape, task.proc_grid, task.halo)
+    plan = exchange_plan(decomp, decomp.geometry(rank))
+    with attach_array(task.field_in) as fin, \
+            attach_array(task.field_out) as fout:
+        geo = decomp.geometry(rank)
+        core, vals, nbytes, messages = _sweeps_rank_body(
+            comm, rank, task.boundary, np.dtype(task.dtype), decomp, plan,
+            fin[geo.stored.slices()], task.supersteps, task.halo,
+            task.stencil)
+        fout[core.slices()] = vals
+    return core, nbytes, messages
+
+
+def _proc_pipelined_entry(comm: Comm, rank: int, task: _ProcTask):
+    decomp = CartesianDecomposition(task.shape, task.proc_grid, task.halo)
+    plan = exchange_plan(decomp, decomp.geometry(rank))
+    with attach_array(task.field_in) as fin, \
+            attach_array(task.field_out) as fout:
+        geo = decomp.geometry(rank)
+        core, vals, nbytes, messages, stats = _pipelined_rank_body(
+            comm, rank, task.boundary, np.dtype(task.dtype), decomp, plan,
+            fin[geo.stored.slices()], task.config, task.stencil,
+            task.order, task.validate)
+        fout[core.slices()] = vals
+    return core, nbytes, messages, stats
+
+
+def _run_procmpi(entry, grid: Grid3D, field: np.ndarray,
+                 decomp: CartesianDecomposition,
+                 plans: List[List[ExchangeEntry]], halo: int,
+                 stencil: StarStencil, **task_kwargs):
+    """Drive one procmpi solve: shared field blocks, rank fan-out, read-back.
+
+    Owns the whole shared-memory lifecycle — input/output blocks are
+    allocated, seeded, read back and unlinked here, for both front-ends
+    (``task_kwargs`` carries the scheme-specific :class:`_ProcTask`
+    fields).  Returns the per-rank results and the assembled field.
+    """
+    with ShmPool() as pool:
+        fin_handle, fin = pool.create_array(grid.shape, grid.dtype)
+        fout_handle, fout = pool.create_array(grid.shape, grid.dtype)
+        fin[...] = field
+        task = _ProcTask(shape=grid.shape, dtype=np.dtype(grid.dtype).str,
+                         boundary=grid.boundary,
+                         proc_grid=decomp.proc_grid, halo=halo,
+                         stencil=stencil, field_in=fin_handle,
+                         field_out=fout_handle, **task_kwargs)
+        outs = run_procs(decomp.n_ranks, entry, args=(task,),
+                         pair_bytes=_pair_bytes(plans, grid.dtype))
+        return outs, np.array(fout, copy=True)
 
 
 # ---------------------------------------------------------------------------
@@ -124,45 +345,43 @@ def distributed_jacobi_sweeps(
     supersteps: int,
     halo: int,
     stencil: Optional[StarStencil] = None,
+    transport: str = "simmpi",
 ) -> SolveResult:
     """``supersteps`` rounds of (h-layer exchange, then h trapezoid sweeps).
 
     Advances the field by ``supersteps * halo`` time levels, equal to that
-    many plain Jacobi sweeps on the undecomposed domain.
+    many plain Jacobi sweeps on the undecomposed domain.  ``transport``
+    picks thread ranks (``"simmpi"``) or process ranks (``"procmpi"``).
     """
     if supersteps < 1:
         raise ValueError("supersteps must be >= 1")
+    _check_transport(transport)
     st = stencil or jacobi7()
     decomp, plans = _prepare(grid, field, proc_grid, halo)
 
+    if transport == "procmpi":
+        outs, assembled = _run_procmpi(_proc_sweeps_entry, grid, field,
+                                       decomp, plans, halo, st,
+                                       supersteps=supersteps)
+        return SolveResult(
+            field=assembled,
+            levels_advanced=supersteps * halo,
+            stats=None,
+            config=None,
+            backend="procmpi",
+            topology=decomp.proc_grid,
+            n_ranks=decomp.n_ranks,
+            halo=halo,
+            bytes_exchanged=sum(o[1] for o in outs),
+            messages=sum(o[2] for o in outs),
+        )
+
     def rank_fn(comm: Comm, rank: int):
         geo = decomp.geometry(rank)
-        off = geo.stored.lo
-        neg = _neg(off)
-        lgrid = Grid3D(geo.stored.shape,
-                       boundary=_shifted_boundary(grid.boundary, off),
-                       dtype=grid.dtype)
-        # Padded pair: local stored box + the one-cell Dirichlet ring.
-        cur = lgrid.padded(np.ascontiguousarray(field[geo.stored.slices()]))
-        nxt = cur.copy()
-        core_l = geo.core.shift(neg)
-        nbytes = messages = 0
-
-        def extract(box: Box) -> np.ndarray:
-            return cur[box.shift(neg).slices((1, 1, 1))].copy()
-
-        def inject(box: Box, vals: np.ndarray) -> None:
-            cur[box.shift(neg).slices((1, 1, 1))] = vals
-
-        for _ in range(supersteps):
-            b, m = _run_exchange(comm, plans[rank], extract, inject)
-            nbytes += b
-            messages += m
-            for s in range(1, halo + 1):
-                region = core_l.grow(halo - s).intersect(lgrid.domain)
-                reference_sweep_region(cur, nxt, region.lo, region.hi, st)
-                cur, nxt = nxt, cur
-        return geo.core, cur[core_l.slices((1, 1, 1))].copy(), nbytes, messages
+        return _sweeps_rank_body(comm, rank, grid.boundary, grid.dtype,
+                                 decomp, plans[rank],
+                                 field[geo.stored.slices()], supersteps,
+                                 halo, st)
 
     outs = run_ranks(decomp.n_ranks, rank_fn)
     return SolveResult(
@@ -191,6 +410,7 @@ def distributed_jacobi_pipelined(
     stencil: Optional[StarStencil] = None,
     order: str = "round_robin",
     validate: bool = True,
+    transport: str = "simmpi",
 ) -> SolveResult:
     """The paper's hybrid scheme: one pipelined executor per rank.
 
@@ -198,69 +418,48 @@ def distributed_jacobi_pipelined(
     single executor pass exactly drains one exchange; ``config.passes``
     becomes the number of supersteps.  Requires the two-grid storage
     scheme: the compressed grid's shifted storage positions do not
-    compose with ghost injection across ranks.
+    compose with ghost injection across ranks.  ``transport`` picks
+    thread ranks (``"simmpi"``) or process ranks (``"procmpi"``).
     """
     if config.storage != "twogrid":
         raise ValueError(
             "distributed pipelining requires the 'twogrid' storage scheme; "
             f"the {config.storage!r} layout cannot absorb ghost injections"
         )
+    _check_transport(transport)
     st = stencil or jacobi7()
     h = config.updates_per_pass
     decomp, plans = _prepare(grid, field, proc_grid, h)
 
+    if transport == "procmpi":
+        outs, assembled = _run_procmpi(_proc_pipelined_entry, grid, field,
+                                       decomp, plans, h, st, config=config,
+                                       order=order, validate=validate)
+        return SolveResult(
+            field=assembled,
+            levels_advanced=config.total_updates,
+            stats=_merge_stats([o[3] for o in outs]),
+            config=config,
+            backend="procmpi",
+            topology=decomp.proc_grid,
+            n_ranks=decomp.n_ranks,
+            halo=h,
+            bytes_exchanged=sum(o[1] for o in outs),
+            messages=sum(o[2] for o in outs),
+        )
+
     def rank_fn(comm: Comm, rank: int):
         geo = decomp.geometry(rank)
-        off = geo.stored.lo
-        neg = _neg(off)
-        lgrid = Grid3D(geo.stored.shape,
-                       boundary=_shifted_boundary(grid.boundary, off),
-                       dtype=grid.dtype)
-        core_l = geo.core.shift(neg)
-
-        def active_fn(level: int) -> Box:
-            # Pass-local update u covers the core + (h - u) ghost layers:
-            # the shrinking trapezoid; the executor clips to the stored box.
-            u = (level - 1) % h + 1
-            return core_l.grow(h - u)
-
-        ex = PipelineExecutor(
-            lgrid, np.ascontiguousarray(field[geo.stored.slices()]),
-            config, st, order=order, active_fn=active_fn, validate=validate,
-        )
-        storage = ex.storage
-        nbytes = messages = 0
-        for p in range(config.passes):
-            base = p * h
-
-            def extract(box: Box, base: int = base) -> np.ndarray:
-                return storage.extract_region(box.shift(neg), base)
-
-            def inject(box: Box, vals: np.ndarray, base: int = base) -> None:
-                storage.inject(box.shift(neg), base, vals)
-
-            b, m = _run_exchange(comm, plans[rank], extract, inject)
-            nbytes += b
-            messages += m
-            ex.run_pass(p)
-        final = config.passes * h
-        core_vals = storage.extract_region(core_l, final)
-        return geo.core, core_vals, nbytes, messages, ex.stats
+        return _pipelined_rank_body(comm, rank, grid.boundary, grid.dtype,
+                                    decomp, plans[rank],
+                                    field[geo.stored.slices()], config, st,
+                                    order, validate)
 
     outs = run_ranks(decomp.n_ranks, rank_fn)
-    stats = ExecutionStats()
-    for o in outs:
-        rank_stats: ExecutionStats = o[4]
-        stats.block_ops += rank_stats.block_ops
-        stats.empty_block_ops += rank_stats.empty_block_ops
-        stats.updates += rank_stats.updates
-        stats.cells_updated += rank_stats.cells_updated
-        stats.max_counter_gap = max(stats.max_counter_gap,
-                                    rank_stats.max_counter_gap)
     return SolveResult(
         field=_assemble(grid, [(core, vals) for core, vals, *_ in outs]),
         levels_advanced=config.total_updates,
-        stats=stats,
+        stats=_merge_stats([o[4] for o in outs]),
         config=config,
         backend="simmpi",
         topology=decomp.proc_grid,

@@ -472,6 +472,12 @@ def _register_solvers() -> None:
             return solve(grid, field_, cfg, topology=topo_,
                          backend="simmpi")
 
+        def solve_procmpi(_suite=suite):
+            from ..api import solve
+            grid, field_, cfg, topo_ = _solver_problem(_suite)
+            return solve(grid, field_, cfg, topology=topo_,
+                         backend="procmpi")
+
         register(Scenario(
             name=f"solve_shared@{suite}",
             kind="solver",
@@ -498,6 +504,16 @@ def _register_solvers() -> None:
             summarize=_sum_solve,
             params={**base_params, "backend": "simmpi", "topology": topo},
             description="Distributed hybrid solve on simulated-MPI ranks",
+        ))
+        register(Scenario(
+            name=f"solve_procmpi@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=solve_procmpi,
+            summarize=_sum_solve,
+            params={**base_params, "backend": "procmpi", "topology": topo},
+            description="Distributed hybrid solve on real multiprocess "
+                        "ranks (shared-memory halos)",
         ))
 
 

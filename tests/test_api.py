@@ -53,11 +53,25 @@ class TestDispatch:
             res.field, reference_sweeps(grid, field, cfg.total_updates),
             rtol=0, atol=1e-13)
 
+    def test_procmpi_dispatch(self):
+        # The PR's acceptance shape: procmpi on (1, 1, 2) must be
+        # allclose to the shared backend.
+        grid, field, cfg = small_problem()
+        shared = solve(grid, field, cfg)
+        res = solve(grid, field, cfg, topology=(1, 1, 2), backend="procmpi")
+        assert res.backend == "procmpi"
+        assert res.n_ranks == 2 and res.topology == (1, 1, 2)
+        assert res.halo == cfg.updates_per_pass
+        np.testing.assert_allclose(res.field, shared.field,
+                                   rtol=0, atol=1e-13)
+
     def test_backends_bit_identical_on_trivial_topology(self):
         grid, field, cfg = small_problem()
         shared = solve(grid, field, cfg, backend="shared")
-        dist = solve(grid, field, cfg, topology=(1, 1, 1), backend="simmpi")
-        assert np.array_equal(shared.field, dist.field)
+        for backend in ("simmpi", "procmpi"):
+            dist = solve(grid, field, cfg, topology=(1, 1, 1),
+                         backend=backend)
+            assert np.array_equal(shared.field, dist.field), backend
 
     def test_run_pipelined_is_the_shared_backend(self):
         grid, field, cfg = small_problem()
@@ -108,7 +122,13 @@ class TestErrorPaths:
             solve(grid, field, cfg, backend="mpi")
 
     def test_backends_constant(self):
-        assert set(BACKENDS) == {"shared", "simmpi"}
+        assert set(BACKENDS) == {"shared", "simmpi", "procmpi"}
+
+    def test_unknown_transport_at_solver_level(self):
+        grid, field, _ = small_problem()
+        with pytest.raises(ValueError, match="transport"):
+            distributed_jacobi_sweeps(grid, field, (2, 1, 1), supersteps=1,
+                                      halo=2, transport="smoke-signals")
 
     def test_shared_rejects_nontrivial_topology(self):
         grid, field, cfg = small_problem()

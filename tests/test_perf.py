@@ -8,6 +8,7 @@ JSON round-trips, compare/regression verdicts, and the CLI contract
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
@@ -70,8 +71,17 @@ class TestRegistry:
             names = {sc.name for sc in select_scenarios(suite=suite)}
             assert any(n.startswith("fig3_left") for n in names)
             assert any(n.startswith("solve_simmpi") for n in names), suite
+            # The process-backed rail measures in every suite too.
+            assert f"solve_procmpi@{suite}" in names
             # Scale-independent models appear in every suite.
             assert {"fig5", "fig6"} <= names
+
+    def test_procmpi_scenarios_declare_their_backend(self):
+        for suite in SUITES:
+            sc = get_scenario(f"solve_procmpi@{suite}")
+            assert sc.kind == "solver"
+            assert sc.params["backend"] == "procmpi"
+            assert tuple(sc.params["topology"]) >= (1, 1, 1)
 
     def test_get_scenario_exact(self, stub):
         assert get_scenario("stub@test") is stub
@@ -383,6 +393,64 @@ class TestCLI:
         assert main(["report", str(a)]) == 0
         out = capsys.readouterr().out
         assert "a@quick" in out and "wall median" in out
+
+    def test_report_renders_procmpi_entries_with_nan_and_zero(self, tmp_path,
+                                                              capsys):
+        # A procmpi scenario record with a NaN throughput (unmeasurable
+        # host clock) and a zero traffic counter must render, not crash,
+        # and keep the gate column honest.
+        rec = RunRecord(
+            scenario="solve_procmpi@quick", kind="solver",
+            params={"backend": "procmpi", "topology": (2, 1, 1)},
+            wall=WallStats.from_samples([0.2, 0.3], warmup=1),
+            metrics={
+                "mcups": Metric(float("nan"), unit="Mcell/s", gate=False),
+                "bytes_exchanged": Metric(0.0, unit="B",
+                                          higher_is_better=False),
+            })
+        p = save_document(make_document("quick", [rec]),
+                          tmp_path / "proc.json")
+        assert main(["report", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "solve_procmpi@quick" in out
+        assert "bytes_exchanged" in out and "nan" in out.lower()
+
+    def test_compare_zero_baseline_procmpi_counters(self, tmp_path, capsys):
+        # Zero-baseline edge on the deterministic procmpi counters: the
+        # degenerate (1,1,1) run exchanges nothing; traffic appearing in
+        # the candidate must fail the gate even though no finite relative
+        # change exists.
+        base = _doc({"solve_procmpi@quick": {"bytes_exchanged": 0.0}},
+                    higher_is_better=False)
+        new = _doc({"solve_procmpi@quick": {"bytes_exchanged": 4096.0}},
+                   higher_is_better=False)
+        a = save_document(base, tmp_path / "base.json")
+        b = save_document(new, tmp_path / "new.json")
+        assert main(["compare", str(a), str(b)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # ... and the reverse direction (traffic disappearing) passes.
+        assert main(["compare", str(b), str(a)]) == 0
+
+    def test_compare_model_nan_and_zero_prediction_edges(self):
+        # A zero model prediction has no finite relative error and a NaN
+        # measurement compares false against any threshold: both must
+        # surface as 'deviates' (never 'ok', never a crash).
+        sc = register(_stub(
+            "proc_model@test", value=float("nan"),
+            model=lambda: {"metric": 100.0, "zero_pred": 0.0}))
+        try:
+            rec = run_scenario(sc, repeats=1, warmup=0)
+            rec.metrics["zero_pred"] = Metric(5.0, unit="u")
+            doc = make_document("quick", [rec])
+            by_metric = {d.metric: d for d in compare_to_model(doc)}
+            nan_delta = by_metric["metric"]
+            assert nan_delta.status == "deviates"
+            assert math.isnan(nan_delta.new)
+            zero_delta = by_metric["zero_pred"]
+            assert zero_delta.status == "deviates"
+            assert zero_delta.rel is None and zero_delta.base == 0.0
+        finally:
+            unregister("proc_model@test")
 
     def test_model_compare_single_file(self, tmp_path, capsys):
         sc = register(_stub("climodel@test", value=100.0,
