@@ -56,9 +56,14 @@ from .core import (
     StorageError,
     run_pipelined,
 )
-from .api import BACKENDS, solve
+from .api import BACKENDS, map_jobs, solve, submit
 
-__version__ = "1.2.0"
+#: ``repro.map`` — the ergonomic name for :func:`map_jobs` (shadows the
+#: builtin only inside this namespace; the wrapper itself imports the
+#: serving layer lazily, at call time).
+map = map_jobs
+
+__version__ = "1.3.0"
 
 #: Symbols re-exported from the distributed rail.  Resolved lazily (PEP
 #: 562) so that `import repro` — and with it the shared-memory rail and
@@ -71,6 +76,8 @@ _DIST_EXPORTS = frozenset({
     "Comm",
     "ProcComm",
     "ProcMPIError",
+    "ProcSolverSession",
+    "ProcWorld",
     "RankComm",
     "SimMPIError",
     "balanced_grid",
@@ -82,17 +89,39 @@ _DIST_EXPORTS = frozenset({
     "run_ranks",
 })
 
+#: Symbols re-exported from the serving layer (also lazy: the service
+#: pulls in the distributed rail) and the autotuner.  ``submit``/``map``
+#: are *not* here — they come eagerly from :mod:`repro.api`, whose
+#: wrappers import the service at call time.
+_SERVE_EXPORTS = frozenset({
+    "Service",
+    "ServiceStats",
+    "SolveJob",
+    "SolveFuture",
+    "ResultCache",
+})
+_AUTOTUNE_EXPORTS = frozenset({"TuneResult", "autotune"})
+
 
 def __getattr__(name: str):
     if name in _DIST_EXPORTS:
         from . import dist
 
         return getattr(dist, name)
+    if name in _SERVE_EXPORTS:
+        from . import serve
+
+        return getattr(serve, name)
+    if name in _AUTOTUNE_EXPORTS:
+        from . import core
+
+        return getattr(core, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | _DIST_EXPORTS)
+    return sorted(set(globals()) | _DIST_EXPORTS | _SERVE_EXPORTS
+                  | _AUTOTUNE_EXPORTS)
 
 __all__ = [
     "Box",
@@ -119,6 +148,8 @@ __all__ = [
     "Comm",
     "ProcComm",
     "ProcMPIError",
+    "ProcSolverSession",
+    "ProcWorld",
     "RankComm",
     "SimMPIError",
     "balanced_grid",
@@ -130,5 +161,16 @@ __all__ = [
     "run_ranks",
     "BACKENDS",
     "solve",
+    "Service",
+    "ServiceStats",
+    "SolveJob",
+    "SolveFuture",
+    "ResultCache",
+    "submit",
+    # "map" stays a module attribute but out of __all__: star-imports
+    # must not shadow the builtin in the user's namespace.
+    "map_jobs",
+    "TuneResult",
+    "autotune",
     "__version__",
 ]

@@ -36,7 +36,7 @@ Backends
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -45,7 +45,7 @@ from .core.pipeline import SolveResult, run_pipelined
 from .grid.grid3d import Grid3D
 from .kernels.stencils import StarStencil
 
-__all__ = ["BACKENDS", "solve"]
+__all__ = ["BACKENDS", "solve", "submit", "map_jobs"]
 
 #: Execution backends understood by :func:`solve`.
 BACKENDS = ("shared", "simmpi", "procmpi")
@@ -109,3 +109,38 @@ def solve(
 
     return distributed_jacobi_pipelined(grid, field, topo, config,
                                         stencil=stencil, transport=backend)
+
+
+def submit(grid: Grid3D, field: np.ndarray,
+           config: Union[PipelineConfig, str],
+           topology: Optional[Sequence[int]] = None,
+           backend: str = "shared",
+           stencil: Optional[StarStencil] = None,
+           priority: int = 0):
+    """Queue a solve on the process-wide service; returns a future.
+
+    The asynchronous sibling of :func:`solve` — same arguments, plus a
+    scheduling ``priority``, and ``config`` may be ``"auto"`` to let the
+    service autotune the pipeline parameters.  Runs through
+    :mod:`repro.serve`: persistent worker pools (warm procmpi ranks),
+    duplicate coalescing, batching and the content-addressed result
+    cache.  ``future.result()`` returns the identical
+    :class:`~repro.core.pipeline.SolveResult` a direct ``solve`` call
+    would have produced — bit-identical when served from cache.
+    """
+    from .serve import submit as _submit
+
+    return _submit(grid, field, config, topology=topology, backend=backend,
+                   stencil=stencil, priority=priority)
+
+
+def map_jobs(jobs: Iterable, timeout: Optional[float] = None,
+             ) -> List[SolveResult]:
+    """Run many :class:`~repro.serve.SolveJob`\\ s; results in order.
+
+    Exported as ``repro.map``.  Fail-fast: waits for every job, then
+    raises the first failure in submission order.
+    """
+    from .serve import map_jobs as _map_jobs
+
+    return _map_jobs(jobs, timeout=timeout)

@@ -22,11 +22,12 @@ Built from five pieces, bottom-up:
 from .comm import Comm, MPI4PyComm
 from .decomp import CartesianDecomposition, RankGeometry
 from .exchange import exchange_plan, plan_bytes
-from .procmpi import ProcComm, ProcMPIError, run_procs
-from .shm import ShmPool, live_segments
+from .procmpi import ProcComm, ProcMPIError, ProcWorld, process_spawns, run_procs
+from .shm import ShmPool, live_segments, segment_creates
 from .simmpi import RankComm, SimMPIError, run_ranks
 from .solver import (
     TRANSPORTS,
+    ProcSolverSession,
     distributed_jacobi_pipelined,
     distributed_jacobi_sweeps,
 )
@@ -50,9 +51,13 @@ __all__ = [
     "run_ranks",
     "ProcComm",
     "ProcMPIError",
+    "ProcWorld",
+    "ProcSolverSession",
+    "process_spawns",
     "run_procs",
     "ShmPool",
     "live_segments",
+    "segment_creates",
     "TRANSPORTS",
     "distributed_jacobi_sweeps",
     "distributed_jacobi_pipelined",

@@ -29,15 +29,27 @@ inbox :class:`multiprocessing.Queue`.  Anything that does not fit a slot
 — collectives, stats objects, oversized arrays — falls back to an
 eagerly pickled envelope, which preserves the semantics at pipe cost.
 
+Lifecycle
+---------
+:class:`ProcWorld` owns a *persistent* set of rank processes: spawn,
+queues, barrier and halo rings are paid once, then any number of jobs
+(``fn(comm, rank, *args)`` fan-outs) run against the warm world —
+the mechanism behind ``repro.serve``'s worker pools.  :func:`run_procs`
+is the one-shot convenience wrapper (spawn, run one job, tear down).
+Failure is crash-only: a failed world refuses further jobs and is
+replaced wholesale, never repaired in place.
+
 Spawn vs fork
 -------------
-The start method defaults to ``fork`` where available (Linux; cheap, and
-closures work) and ``spawn`` elsewhere (macOS/Windows default; requires
-the rank function and its arguments to be picklable).  Override with the
+The start method defaults to ``fork`` where available (Linux; process
+creation is milliseconds instead of a full interpreter re-import) and
+``spawn`` elsewhere (the macOS/Windows default).  Override with the
 ``REPRO_PROCMPI_START`` environment variable or the ``start_method``
-argument.  Under ``spawn``/``forkserver`` the pickle requirement is
-checked up front so the error is a clear :class:`ProcMPIError` rather
-than a truncated traceback from a dying child.
+argument.  Because jobs are dispatched to the persistent rank processes
+through queues, the rank function and its arguments must pickle under
+*every* start method (module-level functions, no lambdas); the
+requirement is checked up front so the error is a clear
+:class:`ProcMPIError` rather than a wedged world.
 """
 
 from __future__ import annotations
@@ -56,7 +68,8 @@ import numpy as np
 from .comm import Comm, snapshot as _snapshot
 from .shm import ShmBlockHandle, ShmPool, attach_block
 
-__all__ = ["ProcMPIError", "ProcComm", "run_procs", "default_start_method"]
+__all__ = ["ProcMPIError", "ProcComm", "ProcWorld", "run_procs",
+           "default_start_method", "process_spawns"]
 
 #: How long a blocked receive/barrier/ring-send waits before concluding
 #: the run is wedged (mirrors ``simmpi.DEFAULT_TIMEOUT``).
@@ -309,37 +322,81 @@ class ProcComm(Comm):
 
 
 # ---------------------------------------------------------------------------
-# The driver: spawn ranks, collect results, tear everything down.
+# The drivers: a persistent rank world, and the one-shot run_procs on top.
 # ---------------------------------------------------------------------------
 
-def _child_main(rank: int, links: _Links, fn: Callable, args: Tuple) -> None:
-    """Entry point of one rank process."""
+_counter_lock = threading.Lock()
+_process_spawns = 0
+
+
+def process_spawns() -> int:
+    """Monotonic count of rank processes this module has started.
+
+    Deterministic for a fixed call sequence, so throughput tests can
+    assert setup amortisation ("a warm pool spawns 2x fewer processes")
+    without touching a wall clock.
+    """
+    return _process_spawns
+
+
+def _count_spawns(n: int) -> None:
+    global _process_spawns
+    with _counter_lock:
+        _process_spawns += n
+
+
+def _serve_main(rank: int, links: _Links, task_q: Any) -> None:
+    """Entry point of one persistent rank process.
+
+    Serves a stream of ``("job", job_id, fn, args)`` tasks until the
+    ``("stop",)`` sentinel arrives.  A task that raises aborts the world
+    and *ends this process*: a failed world is never reused (crash-only
+    recovery) — the owning :class:`ProcWorld` reports the root cause and
+    refuses further jobs, and its caller spawns a fresh world.
+    """
     comm = ProcComm(rank, links)
+    failed = False
     try:
-        out = fn(comm, rank, *args)
-    except BaseException as exc:  # noqa: BLE001 — must reach the parent
-        links.abort.set()
-        try:
-            links.barrier.abort()
-        except Exception:
-            pass
-        try:
-            payload: Optional[bytes] = pickle.dumps(exc)
-        except Exception:
-            payload = None
-        links.result_q.put(("err", rank, payload, repr(exc),
-                            traceback.format_exc()))
-        # The world is aborting: nobody will drain our outbound halo
-        # messages, and a blocked queue feeder would turn this rank into
-        # a zombie.  Discard instead of flushing.
-        for q in links.inboxes:
+        while True:
+            msg = task_q.get()
+            if msg[0] == "stop":
+                break
+            _, job_id, fn, args = msg
             try:
-                q.cancel_join_thread()
-            except Exception:
-                pass
-    else:
-        links.result_q.put(("ok", rank, out))
+                out = fn(comm, rank, *args)
+                # Pickle the result ourselves: a Queue pickles in its
+                # feeder *thread*, where a failure is silently dropped —
+                # the parent would wait forever for a report that never
+                # comes.  Done here, an unpicklable return value is just
+                # another job failure with a clear message.
+                ok_payload = pickle.dumps(out,
+                                          protocol=pickle.HIGHEST_PROTOCOL)
+            except BaseException as exc:  # noqa: BLE001 — must reach the parent
+                failed = True
+                links.abort.set()
+                try:
+                    links.barrier.abort()
+                except Exception:
+                    pass
+                try:
+                    payload: Optional[bytes] = pickle.dumps(exc)
+                except Exception:
+                    payload = None
+                links.result_q.put(("err", rank, job_id, payload, repr(exc),
+                                    traceback.format_exc()))
+                break
+            else:
+                links.result_q.put(("ok", rank, job_id, ok_payload))
     finally:
+        if failed:
+            # The world is aborting: nobody will drain our outbound halo
+            # messages, and a blocked queue feeder would turn this rank
+            # into a zombie.  Discard instead of flushing.
+            for q in links.inboxes:
+                try:
+                    q.cancel_join_thread()
+                except Exception:
+                    pass
         comm.close()
 
 
@@ -362,7 +419,7 @@ def _make_rings(ctx, pool: ShmPool,
 
 def _reconstruct(msg: Tuple) -> BaseException:
     """Rebuild a child exception from its ("err", ...) report."""
-    _, rank, payload, rep, tb = msg
+    _, rank, _job_id, payload, rep, tb = msg
     if payload is not None:
         try:
             exc = pickle.loads(payload)
@@ -373,92 +430,176 @@ def _reconstruct(msg: Tuple) -> BaseException:
     return ProcMPIError(f"rank {rank} failed: {rep}\n{tb}")
 
 
-def run_procs(n_ranks: int, fn: Callable[..., Any],
-              args: Tuple = (),
-              timeout: float = DEFAULT_TIMEOUT,
-              start_method: Optional[str] = None,
-              pair_bytes: Optional[Mapping[Tuple[int, int], int]] = None,
-              slots: int = DEFAULT_SLOTS) -> List[Any]:
-    """Execute ``fn(comm, rank, *args)`` on ``n_ranks`` OS processes.
+def _root_cause(death_errors: List[Optional[BaseException]],
+                errors: List[Optional[BaseException]],
+                ) -> Optional[BaseException]:
+    """Pick the error to re-raise in the parent.
 
-    Returns the per-rank return values in rank order.  If any rank
-    raises, the world is aborted (peers blocked in receives, sends and
-    barriers are released with :class:`ProcMPIError`) and the *original*
-    exception is re-raised in the caller; a rank that dies without
-    reporting (killed, segfault) is detected by the parent and surfaces
-    as a :class:`ProcMPIError` naming the exit code.  All shared-memory
-    segments are unlinked and all rank processes joined or terminated
-    before this function returns, success or not.
-
-    Parameters
-    ----------
-    pair_bytes:
-        Optional ``{(src, dst): max_message_bytes}`` map; listed pairs
-        get preallocated shared-memory halo rings (``slots`` outstanding
-        messages each).  Unlisted traffic uses pickled envelopes.
-    start_method:
-        ``"fork"``/``"spawn"``/``"forkserver"``; defaults to
-        :func:`default_start_method`.  Non-fork methods require ``fn``
-        and ``args`` (and the return values) to be picklable.
+    Root cause first: a hard death, then a real child exception, then a
+    ProcMPIError that was not merely an abort release (bad peer, ring
+    violation, timeout), and only then the release errors the root cause
+    triggered in its peers.
     """
-    import multiprocessing as mp
+    for exc in death_errors:
+        if exc is not None:
+            return exc
+    for exc in errors:
+        if exc is not None and not isinstance(exc, ProcMPIError):
+            return exc
+    for exc in errors:
+        if exc is not None and not getattr(exc, "abort_induced", False):
+            return exc
+    for exc in errors:
+        if exc is not None:
+            return exc
+    return None
 
-    if n_ranks < 1:
-        raise ValueError("need at least one rank")
-    if slots < 1:
-        raise ValueError("need at least one ring slot")
-    method = start_method or default_start_method()
-    if method not in mp.get_all_start_methods():
-        raise ProcMPIError(
-            f"start method {method!r} unavailable on this platform "
-            f"(have {mp.get_all_start_methods()}); check "
-            "REPRO_PROCMPI_START")
-    ctx = mp.get_context(method)
-    if method != "fork":
-        try:
-            pickle.dumps((fn, args))
-        except Exception as exc:
-            raise ProcMPIError(
-                f"start method {method!r} must pickle the rank function "
-                f"and its arguments: {exc!r}; use module-level functions "
-                "and picklable specs (or the fork start method)") from exc
 
-    pool = ShmPool()
-    procs: List[Any] = []
-    results: List[Any] = [None] * n_ranks
-    errors: List[Optional[BaseException]] = [None] * n_ranks
-    #: Parent-synthesized errors for ranks that died without reporting —
-    #: these are the root cause and outrank the peers' abort errors.
-    death_errors: List[Optional[BaseException]] = [None] * n_ranks
-    inboxes = [ctx.Queue() for _ in range(n_ranks)]
-    result_q = ctx.Queue()
-    abort = ctx.Event()
-    barrier = ctx.Barrier(n_ranks)
+def _check_picklable(fn: Callable, args: Tuple) -> None:
+    # Jobs reach the persistent rank processes through a
+    # multiprocessing.Queue, which pickles under *every* start method —
+    # an unpicklable payload would be dropped by the queue's feeder
+    # thread and hang the world, so fail fast here instead.
     try:
-        rings = _make_rings(ctx, pool, pair_bytes, slots, n_ranks)
-        links = _Links(size=n_ranks, timeout=timeout, abort=abort,
-                       barrier=barrier, inboxes=inboxes, result_q=result_q,
-                       rings=rings)
-        procs = [ctx.Process(target=_child_main, args=(r, links, fn, args),
-                             name=f"procmpi-rank-{r}", daemon=True)
-                 for r in range(n_ranks)]
-        for p in procs:
-            p.start()
+        pickle.dumps((fn, args))
+    except Exception as exc:
+        raise ProcMPIError(
+            f"the rank function and its arguments must pickle "
+            f"(they are dispatched to the persistent rank processes "
+            f"through a queue): {exc!r}; use module-level functions "
+            "and picklable specs") from exc
+
+
+class ProcWorld:
+    """A persistent set of rank processes serving a stream of jobs.
+
+    All one-time cost lives in the constructor: the process spawns (the
+    expensive part, especially under the spawn start method where every
+    rank re-imports the interpreter), the shared abort/barrier/queue
+    primitives, and the flow-controlled shared-memory halo rings.
+    :meth:`run_job` then dispatches one ``fn(comm, rank, *args)`` to
+    every rank and collects the rank-ordered results — the per-job path
+    pays **no** setup, which is what the serving layer's warm worker
+    pools amortise.
+
+    The ring geometry is fixed at construction (``pair_bytes`` sizes the
+    slots); later jobs whose messages fit the slots reuse the rings, and
+    oversized or unlisted traffic falls back to pickled envelopes with
+    identical semantics, so a world built for one exchange plan safely
+    serves any shape-compatible job.
+
+    Failure is crash-only: if any rank raises or dies, the world aborts,
+    every rank process exits, :meth:`run_job` re-raises the root cause
+    and the world refuses further jobs (:attr:`broken`).  Callers keep a
+    warm world for the happy path and replace it wholesale on failure —
+    there is no in-place repair of a half-poisoned exchange state.
+    """
+
+    def __init__(self, n_ranks: int,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 start_method: Optional[str] = None,
+                 pair_bytes: Optional[Mapping[Tuple[int, int], int]] = None,
+                 slots: int = DEFAULT_SLOTS) -> None:
+        import multiprocessing as mp
+
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if slots < 1:
+            raise ValueError("need at least one ring slot")
+        method = start_method or default_start_method()
+        if method not in mp.get_all_start_methods():
+            raise ProcMPIError(
+                f"start method {method!r} unavailable on this platform "
+                f"(have {mp.get_all_start_methods()}); check "
+                "REPRO_PROCMPI_START")
+        self.n_ranks = n_ranks
+        self.jobs_run = 0
+        self._method = method
+        self._closed = False
+        self._broken = False
+        self._next_job = 0
+        self._procs: List[Any] = []
+        self._pool = ShmPool()
+        ctx = mp.get_context(method)
+        self._inboxes = [ctx.Queue() for _ in range(n_ranks)]
+        self._task_qs = [ctx.Queue() for _ in range(n_ranks)]
+        self._result_q = ctx.Queue()
+        try:
+            rings = _make_rings(ctx, self._pool, pair_bytes, slots, n_ranks)
+            self._links = _Links(size=n_ranks, timeout=timeout,
+                                 abort=ctx.Event(),
+                                 barrier=ctx.Barrier(n_ranks),
+                                 inboxes=self._inboxes,
+                                 result_q=self._result_q, rings=rings)
+            self._procs = [
+                ctx.Process(target=_serve_main,
+                            args=(r, self._links, self._task_qs[r]),
+                            name=f"procmpi-rank-{r}", daemon=True)
+                for r in range(n_ranks)]
+            for p in self._procs:
+                p.start()
+            _count_spawns(n_ranks)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method the ranks were spawned with."""
+        return self._method
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """True once a job failed; a broken world refuses further jobs."""
+        return self._broken
+
+    def run_job(self, fn: Callable[..., Any], args: Tuple = ()) -> List[Any]:
+        """Execute ``fn(comm, rank, *args)`` once on every rank.
+
+        Returns the per-rank return values in rank order.  If any rank
+        raises, the world is aborted (peers blocked in receives, sends
+        and barriers are released with :class:`ProcMPIError`), the
+        *original* exception is re-raised here, and the world is closed
+        and marked :attr:`broken`; a rank that dies without reporting
+        (killed, segfault) surfaces as a :class:`ProcMPIError` naming
+        the exit code.  Either way no shared-memory segment outlives the
+        failure and no rank process is left behind.
+        """
+        if self._closed or self._broken:
+            raise ProcMPIError(
+                "this world is closed or broken; spawn a new one")
+        _check_picklable(fn, args)
+        job_id = self._next_job
+        self._next_job += 1
+        for q in self._task_qs:
+            q.put(("job", job_id, fn, args))
+
+        n_ranks = self.n_ranks
+        results: List[Any] = [None] * n_ranks
+        errors: List[Optional[BaseException]] = [None] * n_ranks
+        #: Parent-synthesized errors for ranks that died without
+        #: reporting — the root cause, outranking peers' abort errors.
+        death_errors: List[Optional[BaseException]] = [None] * n_ranks
+        reported = [False] * n_ranks
 
         def do_abort() -> None:
-            abort.set()
+            self._links.abort.set()
             try:
-                barrier.abort()
+                self._links.barrier.abort()
             except Exception:  # pragma: no cover
                 pass
 
-        reported = [False] * n_ranks
-
         def record(msg: Tuple) -> None:
-            rank = msg[1]
+            kind, rank, jid = msg[0], msg[1], msg[2]
+            if jid != job_id:  # pragma: no cover - broken worlds never serve
+                return
             reported[rank] = True
-            if msg[0] == "ok":
-                results[rank] = msg[2]
+            if kind == "ok":
+                results[rank] = pickle.loads(msg[3])
             else:
                 errors[rank] = _reconstruct(msg)
                 do_abort()
@@ -471,16 +612,16 @@ def run_procs(n_ranks: int, fn: Callable[..., Any],
         # without reporting (killed, segfaulted).
         while not all(reported):
             try:
-                record(result_q.get(timeout=_POLL))
+                record(self._result_q.get(timeout=_POLL))
                 continue
             except _queue.Empty:
                 pass
-            for r, p in enumerate(procs):
+            for r, p in enumerate(self._procs):
                 if not reported[r] and not p.is_alive():
                     # Dead without a report — unless its message is
                     # still in flight in the result pipe.
                     try:
-                        record(result_q.get(timeout=0.5))
+                        record(self._result_q.get(timeout=0.5))
                     except _queue.Empty:
                         reported[r] = True
                         death_errors[r] = ProcMPIError(
@@ -488,9 +629,31 @@ def run_procs(n_ranks: int, fn: Callable[..., Any],
                             f"(exit code {p.exitcode})")
                         do_abort()
                     break
+        self.jobs_run += 1
+        root = _root_cause(death_errors, errors)
+        if root is not None:
+            self._broken = True
+            self.close()
+            raise root
+        return results
+
+    def close(self) -> None:
+        """Stop, join (or kill) every rank and unlink all segments.
+
+        Idempotent, and safe after any failure mode — the ``finally``
+        teardown the one-shot driver always had, now callable.
+        """
+        if self._closed and not self._procs:
+            return
+        self._closed = True
+        for q in self._task_qs:
+            try:
+                q.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        procs, self._procs = self._procs, []
         for p in procs:
             p.join(timeout=10.0)
-    finally:
         for p in procs:
             if p.is_alive():  # pragma: no cover - wedged child
                 p.terminate()
@@ -498,28 +661,57 @@ def run_procs(n_ranks: int, fn: Callable[..., Any],
                 if p.is_alive():
                     p.kill()
                     p.join(timeout=5.0)
-        for q in [result_q, *inboxes]:
+        for q in [self._result_q, *self._inboxes, *self._task_qs]:
             try:
                 q.close()
                 q.join_thread()
             except Exception:  # pragma: no cover
                 pass
-        pool.cleanup()
+        self._pool.cleanup()
 
-    # Root cause first: a hard death, then a real child exception, then
-    # a ProcMPIError that was not merely an abort release (bad peer,
-    # ring violation, timeout), and only then the release errors the
-    # root cause triggered in its peers.
-    for exc in death_errors:
-        if exc is not None:
-            raise exc
-    for exc in errors:
-        if exc is not None and not isinstance(exc, ProcMPIError):
-            raise exc
-    for exc in errors:
-        if exc is not None and not getattr(exc, "abort_induced", False):
-            raise exc
-    for exc in errors:
-        if exc is not None:
-            raise exc
-    return results
+    def __enter__(self) -> "ProcWorld":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_procs(n_ranks: int, fn: Callable[..., Any],
+              args: Tuple = (),
+              timeout: float = DEFAULT_TIMEOUT,
+              start_method: Optional[str] = None,
+              pair_bytes: Optional[Mapping[Tuple[int, int], int]] = None,
+              slots: int = DEFAULT_SLOTS) -> List[Any]:
+    """Execute ``fn(comm, rank, *args)`` on ``n_ranks`` OS processes.
+
+    A one-shot :class:`ProcWorld`: spawn, run the single job, tear
+    everything down.  Returns the per-rank return values in rank order.
+    If any rank raises, the world is aborted (peers blocked in receives,
+    sends and barriers are released with :class:`ProcMPIError`) and the
+    *original* exception is re-raised in the caller; a rank that dies
+    without reporting (killed, segfault) is detected by the parent and
+    surfaces as a :class:`ProcMPIError` naming the exit code.  All
+    shared-memory segments are unlinked and all rank processes joined or
+    terminated before this function returns, success or not.
+
+    Parameters
+    ----------
+    pair_bytes:
+        Optional ``{(src, dst): max_message_bytes}`` map; listed pairs
+        get preallocated shared-memory halo rings (``slots`` outstanding
+        messages each).  Unlisted traffic uses pickled envelopes.
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"``; defaults to
+        :func:`default_start_method`.  ``fn``, ``args`` and the return
+        values must be picklable under *every* start method — jobs and
+        results travel queues to the persistent rank processes.
+    """
+    # run_job's pickle pre-check covers the unpicklable case (at the
+    # cost of spawning first on that error path — rare enough not to
+    # pay an extra full pickle of the payload on every healthy call).
+    world = ProcWorld(n_ranks, timeout=timeout, start_method=start_method,
+                      pair_bytes=pair_bytes, slots=slots)
+    try:
+        return world.run_job(fn, args)
+    finally:
+        world.close()

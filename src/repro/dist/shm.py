@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -47,10 +48,24 @@ __all__ = [
     "attach_block",
     "attach_array",
     "live_segments",
+    "segment_creates",
 ]
 
 #: Every segment this package creates carries this name prefix.
 SEGMENT_PREFIX = "repro-shm-"
+
+_counter_lock = threading.Lock()
+_segment_creates = 0
+
+
+def segment_creates() -> int:
+    """Monotonic count of segments created by this process's pools.
+
+    Deterministic for a fixed call sequence — the serving layer's
+    throughput tests assert setup amortisation on this counter instead
+    of a wall clock.
+    """
+    return _segment_creates
 
 
 @dataclass(frozen=True)
@@ -138,6 +153,9 @@ class ShmPool:
                 break
             except FileExistsError:  # pragma: no cover - 2^32 collision
                 continue
+        global _segment_creates
+        with _counter_lock:
+            _segment_creates += 1
         self._segments.append(shm)
         return shm
 

@@ -51,11 +51,11 @@ from ..kernels.stencils import StarStencil
 from .comm import Comm
 from .decomp import CartesianDecomposition, RankGeometry
 from .exchange import ExchangeEntry, exchange_plan
-from .procmpi import run_procs
+from .procmpi import ProcMPIError, ProcWorld
 from .shm import ShmArrayHandle, ShmPool, attach_array
 from .simmpi import run_ranks
 
-__all__ = ["TRANSPORTS", "distributed_jacobi_sweeps",
+__all__ = ["TRANSPORTS", "ProcSolverSession", "distributed_jacobi_sweeps",
            "distributed_jacobi_pipelined"]
 
 Coord = Tuple[int, int, int]
@@ -309,29 +309,165 @@ def _proc_pipelined_entry(comm: Comm, rank: int, task: _ProcTask):
     return core, nbytes, messages, stats
 
 
-def _run_procmpi(entry, grid: Grid3D, field: np.ndarray,
-                 decomp: CartesianDecomposition,
-                 plans: List[List[ExchangeEntry]], halo: int,
-                 stencil: StarStencil, **task_kwargs):
-    """Drive one procmpi solve: shared field blocks, rank fan-out, read-back.
+class ProcSolverSession:
+    """Persistent procmpi setup, reused across shape-compatible solves.
 
-    Owns the whole shared-memory lifecycle — input/output blocks are
-    allocated, seeded, read back and unlinked here, for both front-ends
-    (``task_kwargs`` carries the scheme-specific :class:`_ProcTask`
-    fields).  Returns the per-rank results and the assembled field.
+    A cold procmpi solve pays (1) the rank-process spawns, (2) the
+    shared-memory field blocks and (3) the per-pair halo rings *per
+    call*.  This session hoists all three into construction time: it
+    owns a :class:`~repro.dist.procmpi.ProcWorld` plus the input/output
+    field segments, and :meth:`solve_pipelined` / :meth:`solve_sweeps`
+    only copy the field in, dispatch one job to the warm ranks and read
+    the assembled result back.  ``repro.serve``'s worker pools keep
+    sessions alive across jobs; the one-shot front-ends below create and
+    close one per call, so both paths execute identical code.
+
+    A session is keyed by ``(shape, dtype, proc_grid, halo)`` — see
+    :meth:`compatible`.  Boundary, stencil and pipeline config travel
+    with each job, so one session serves any problem on that geometry.
+    Failure is crash-only (inherited from :class:`ProcWorld`): a solve
+    that fails closes the session — segments unlinked, ranks joined —
+    re-raises the original error, and the owner spawns a fresh session
+    for subsequent jobs.
     """
-    with ShmPool() as pool:
-        fin_handle, fin = pool.create_array(grid.shape, grid.dtype)
-        fout_handle, fout = pool.create_array(grid.shape, grid.dtype)
-        fin[...] = field
-        task = _ProcTask(shape=grid.shape, dtype=np.dtype(grid.dtype).str,
+
+    def __init__(self, shape: Sequence[int], dtype, proc_grid: Sequence[int],
+                 halo: int, start_method: Optional[str] = None,
+                 timeout: Optional[float] = None,
+                 decomp: Optional[CartesianDecomposition] = None,
+                 plans: Optional[List[List[ExchangeEntry]]] = None) -> None:
+        self.shape: Coord = tuple(int(s) for s in shape)  # type: ignore[assignment]
+        self.dtype = np.dtype(dtype)
+        self.halo = int(halo)
+        # The one-shot front-ends have already built (and validated) the
+        # decomposition and every rank's plan — accept them instead of
+        # recomputing; cold constructions build their own.
+        self.decomp = decomp if decomp is not None else \
+            CartesianDecomposition(self.shape, proc_grid, self.halo)
+        self.plans = plans if plans is not None else \
+            [exchange_plan(self.decomp, self.decomp.geometry(r))
+             for r in range(self.decomp.n_ranks)]
+        self.solves = 0
+        self._pool = ShmPool()
+        self._world: Optional[ProcWorld] = None
+        try:
+            self._fin_handle, self._fin = self._pool.create_array(
+                self.shape, self.dtype)
+            self._fout_handle, self._fout = self._pool.create_array(
+                self.shape, self.dtype)
+            kwargs = {} if timeout is None else {"timeout": timeout}
+            self._world = ProcWorld(
+                self.decomp.n_ranks, start_method=start_method,
+                pair_bytes=_pair_bytes(self.plans, self.dtype), **kwargs)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def proc_grid(self) -> Coord:
+        return self.decomp.proc_grid
+
+    @property
+    def closed(self) -> bool:
+        return self._world is None or self._world.closed
+
+    def compatible(self, shape: Sequence[int], dtype,
+                   proc_grid: Sequence[int], halo: int) -> bool:
+        """Whether this session can serve the given problem geometry."""
+        return (not self.closed
+                and self.shape == tuple(int(s) for s in shape)
+                and self.dtype == np.dtype(dtype)
+                and self.proc_grid == tuple(int(p) for p in proc_grid)
+                and self.halo == int(halo))
+
+    def _run(self, entry, grid: Grid3D, field: np.ndarray,
+             stencil: StarStencil, **task_kwargs):
+        """One job against the warm world: seed, dispatch, read back."""
+        if self.closed:
+            raise ProcMPIError("this solver session is closed")
+        if grid.shape != self.shape or np.dtype(grid.dtype) != self.dtype:
+            raise ValueError(
+                f"problem {grid.shape}/{np.dtype(grid.dtype)} does not fit "
+                f"this session ({self.shape}/{self.dtype})")
+        if field.shape != self.shape:
+            raise ValueError(
+                f"field shape {field.shape} != grid shape {self.shape}")
+        self._fin[...] = field
+        task = _ProcTask(shape=self.shape, dtype=self.dtype.str,
                          boundary=grid.boundary,
-                         proc_grid=decomp.proc_grid, halo=halo,
-                         stencil=stencil, field_in=fin_handle,
-                         field_out=fout_handle, **task_kwargs)
-        outs = run_procs(decomp.n_ranks, entry, args=(task,),
-                         pair_bytes=_pair_bytes(plans, grid.dtype))
-        return outs, np.array(fout, copy=True)
+                         proc_grid=self.proc_grid, halo=self.halo,
+                         stencil=stencil, field_in=self._fin_handle,
+                         field_out=self._fout_handle, **task_kwargs)
+        try:
+            outs = self._world.run_job(entry, args=(task,))
+        except BaseException:
+            # Crash-only: the world is already down; release the field
+            # segments too so a failed session never leaks /dev/shm.
+            self.close()
+            raise
+        self.solves += 1
+        return outs, np.array(self._fout, copy=True)
+
+    def solve_pipelined(self, grid: Grid3D, field: np.ndarray,
+                        config: PipelineConfig,
+                        stencil: Optional[StarStencil] = None,
+                        order: str = "round_robin",
+                        validate: bool = True) -> SolveResult:
+        """The hybrid scheme on the warm ranks; ``h`` must match the session."""
+        if config.updates_per_pass != self.halo:
+            raise ValueError(
+                f"config h={config.updates_per_pass} != session halo "
+                f"{self.halo}")
+        outs, assembled = self._run(
+            _proc_pipelined_entry, grid, field, stencil or jacobi7(),
+            config=config, order=order, validate=validate)
+        return SolveResult(
+            field=assembled,
+            levels_advanced=config.total_updates,
+            stats=_merge_stats([o[3] for o in outs]),
+            config=config,
+            backend="procmpi",
+            topology=self.proc_grid,
+            n_ranks=self.decomp.n_ranks,
+            halo=self.halo,
+            bytes_exchanged=sum(o[1] for o in outs),
+            messages=sum(o[2] for o in outs),
+        )
+
+    def solve_sweeps(self, grid: Grid3D, field: np.ndarray,
+                     supersteps: int,
+                     stencil: Optional[StarStencil] = None) -> SolveResult:
+        """The multi-halo sweeps scheme on the warm ranks."""
+        if supersteps < 1:
+            raise ValueError("supersteps must be >= 1")
+        outs, assembled = self._run(
+            _proc_sweeps_entry, grid, field, stencil or jacobi7(),
+            supersteps=supersteps)
+        return SolveResult(
+            field=assembled,
+            levels_advanced=supersteps * self.halo,
+            stats=None,
+            config=None,
+            backend="procmpi",
+            topology=self.proc_grid,
+            n_ranks=self.decomp.n_ranks,
+            halo=self.halo,
+            bytes_exchanged=sum(o[1] for o in outs),
+            messages=sum(o[2] for o in outs),
+        )
+
+    def close(self) -> None:
+        """Tear down the world and unlink the field segments (idempotent)."""
+        world, self._world = self._world, None
+        if world is not None:
+            world.close()
+        self._pool.cleanup()
+
+    def __enter__(self) -> "ProcSolverSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------
@@ -360,21 +496,11 @@ def distributed_jacobi_sweeps(
     decomp, plans = _prepare(grid, field, proc_grid, halo)
 
     if transport == "procmpi":
-        outs, assembled = _run_procmpi(_proc_sweeps_entry, grid, field,
-                                       decomp, plans, halo, st,
-                                       supersteps=supersteps)
-        return SolveResult(
-            field=assembled,
-            levels_advanced=supersteps * halo,
-            stats=None,
-            config=None,
-            backend="procmpi",
-            topology=decomp.proc_grid,
-            n_ranks=decomp.n_ranks,
-            halo=halo,
-            bytes_exchanged=sum(o[1] for o in outs),
-            messages=sum(o[2] for o in outs),
-        )
+        # One-shot session: identical code path to the serve layer's
+        # warm pools, paying the full setup for this single solve.
+        with ProcSolverSession(grid.shape, grid.dtype, decomp.proc_grid,
+                               halo, decomp=decomp, plans=plans) as session:
+            return session.solve_sweeps(grid, field, supersteps, stencil=st)
 
     def rank_fn(comm: Comm, rank: int):
         geo = decomp.geometry(rank)
@@ -432,21 +558,12 @@ def distributed_jacobi_pipelined(
     decomp, plans = _prepare(grid, field, proc_grid, h)
 
     if transport == "procmpi":
-        outs, assembled = _run_procmpi(_proc_pipelined_entry, grid, field,
-                                       decomp, plans, h, st, config=config,
-                                       order=order, validate=validate)
-        return SolveResult(
-            field=assembled,
-            levels_advanced=config.total_updates,
-            stats=_merge_stats([o[3] for o in outs]),
-            config=config,
-            backend="procmpi",
-            topology=decomp.proc_grid,
-            n_ranks=decomp.n_ranks,
-            halo=h,
-            bytes_exchanged=sum(o[1] for o in outs),
-            messages=sum(o[2] for o in outs),
-        )
+        # One-shot session: identical code path to the serve layer's
+        # warm pools, paying the full setup for this single solve.
+        with ProcSolverSession(grid.shape, grid.dtype, decomp.proc_grid,
+                               h, decomp=decomp, plans=plans) as session:
+            return session.solve_pipelined(grid, field, config, stencil=st,
+                                           order=order, validate=validate)
 
     def rank_fn(comm: Comm, rank: int):
         geo = decomp.geometry(rank)

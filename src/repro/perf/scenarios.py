@@ -517,6 +517,134 @@ def _register_solvers() -> None:
         ))
 
 
+# --------------------------------------------------------------------------
+# Serving-layer scenarios: batched-vs-sequential and cache cold/warm.
+# --------------------------------------------------------------------------
+
+#: Serve throughput problems per suite: (grid edge, topology, jobs).
+#: Grids stay small at every scale — these scenarios measure the
+#: service's scheduling/pooling behaviour, not kernel throughput.
+SERVE_SIZES = {
+    "quick": (12, (1, 1, 2), 6),
+    "paper": (16, (1, 1, 2), 10),
+    "stress": (24, (1, 2, 2), 16),
+}
+
+
+def _serve_problem(n: int):
+    from ..core.parameters import PipelineConfig, RelaxedSpec
+    from ..grid import Grid3D
+
+    grid = Grid3D((n, n, n))
+    cfg = PipelineConfig(teams=1, threads_per_team=2, updates_per_thread=2,
+                         block_size=(4, 64, 64), sync=RelaxedSpec(1, 2))
+    return grid, cfg
+
+
+def _sum_serve_throughput(payload, wall: float) -> Dict[str, Metric]:
+    # Every gated metric is an event counter (or a ratio of counters):
+    # deterministic for a fixed job sequence, hence host-stable.
+    return {
+        "spawn_amortization": Metric(payload["amortization"], unit="x"),
+        "process_spawns": Metric(float(payload["spawns"]), unit="procs",
+                                 higher_is_better=False),
+        "batched_jobs": Metric(float(payload["batched_jobs"]), unit="jobs"),
+        "backend_solves": Metric(float(payload["backend_solves"]),
+                                 unit="solves", higher_is_better=False),
+        "jobs_per_s": Metric(ratio(payload["jobs"], wall), unit="jobs/s",
+                             gate=False),
+    }
+
+
+def _sum_serve_cache(payload, wall: float) -> Dict[str, Metric]:
+    return {
+        "cache_hits": Metric(float(payload["cache_hits"]), unit="hits"),
+        "backend_solves": Metric(float(payload["backend_solves"]),
+                                 unit="solves", higher_is_better=False),
+        "bit_identical": Metric(float(payload["bit_identical"]), unit="bool"),
+    }
+
+
+def _register_serve() -> None:
+    for suite in SUITES:
+        n, topo, jobs = SERVE_SIZES[suite]
+
+        def serve_throughput(_n=n, _topo=topo, _jobs=jobs):
+            import numpy as np
+
+            from ..dist.procmpi import process_spawns
+            from ..grid import random_field
+            from ..serve import Service
+
+            grid, cfg = _serve_problem(_n)
+            fields = [random_field(grid.shape, np.random.default_rng(i))
+                      for i in range(_jobs)]
+            spawns0 = process_spawns()
+            # workers=0 + drain: every job is queued before any runs, so
+            # batch formation (and with it every counter) is
+            # deterministic — no submit-vs-worker race.
+            with Service(workers=0, cache=False) as svc:
+                futs = [svc.submit(grid, f, cfg, topology=_topo,
+                                   backend="procmpi") for f in fields]
+                svc.drain()
+                for f in futs:
+                    f.result(timeout=0)
+                st = svc.stats
+            spawns = process_spawns() - spawns0
+            n_ranks = _topo[0] * _topo[1] * _topo[2]
+            return {
+                "jobs": _jobs,
+                "spawns": spawns,
+                "amortization": ratio(_jobs * n_ranks, max(spawns, 1)),
+                "batched_jobs": st.batched_jobs,
+                "backend_solves": st.backend_solves,
+            }
+
+        def serve_cache(_n=n):
+            import numpy as np
+
+            from ..grid import random_field
+            from ..serve import Service
+
+            grid, cfg = _serve_problem(_n)
+            field_ = random_field(grid.shape, np.random.default_rng(0))
+            with Service(workers=0) as svc:
+                cold = svc.submit(grid, field_, cfg)
+                svc.drain()
+                warm = svc.submit(grid, field_, cfg)  # pure cache hit
+                st = svc.stats
+                identical = bool(np.array_equal(cold.result(timeout=0).field,
+                                                warm.result(timeout=0).field))
+            return {
+                "cache_hits": st.cache_hits,
+                "backend_solves": st.backend_solves,
+                "bit_identical": int(identical and warm.cache_hit),
+            }
+
+        register(Scenario(
+            name=f"solve_serve_throughput@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=serve_throughput,
+            summarize=_sum_serve_throughput,
+            params={"n": n, "topology": topo, "jobs": jobs,
+                    "backend": "procmpi", "workers": 0, "cache": False},
+            description="Warm-pool batched procmpi serving vs the "
+                        "sequential-spawn equivalent (counter-based)",
+        ))
+        register(Scenario(
+            name=f"solve_serve_cache@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=serve_cache,
+            summarize=_sum_serve_cache,
+            params={"n": n, "backend": "shared", "workers": 0},
+            description="Content-addressed cache: cold solve then "
+                        "bit-identical warm hit",
+        ))
+
+
 _register_figures()
 _register_kernels()
 _register_solvers()
+_register_serve()

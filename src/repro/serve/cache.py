@@ -1,0 +1,150 @@
+"""Content-addressed result cache: in-memory LRU plus optional disk.
+
+Entries are keyed by :meth:`SolveJob.content_key` — a SHA-256 over the
+problem bytes, the canonical configuration and the backend *semantics*
+(see :mod:`repro.serve.job`) — so a hit is exactly a solve whose result
+field is guaranteed bit-identical to recomputing.  The cache therefore
+returns the stored :class:`~repro.core.pipeline.SolveResult` as-is
+(field defensively copied so callers cannot mutate the cached bits);
+``stats``/timing metadata reflect the run that *populated* the entry.
+
+The disk tier is a directory of ``<key>.pkl`` files (NumPy arrays
+pickle losslessly, so bit-identity survives the round-trip), written
+atomically via a temp file + rename.  It is optional and trusted local
+state — point it somewhere like ``benchmarks/results/cache/`` to keep
+warm results across processes; unreadable or truncated files are
+treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.pipeline import SolveResult
+
+__all__ = ["ResultCache"]
+
+_KEY_HEX = 64  # SHA-256 digest length; anything else is not our file
+
+
+def _clone(result: SolveResult) -> SolveResult:
+    """A result whose field the caller may mutate without corrupting us."""
+    return replace(result, field=result.field.copy())
+
+
+class ResultCache:
+    """LRU cache of :class:`SolveResult` by content key.
+
+    Thread-safe; the service's worker threads put and the submitting
+    thread gets.  ``max_entries`` bounds the in-memory tier only — the
+    disk tier (when configured) keeps everything until
+    :meth:`clear` (files are small pickles; pruning is the operator's
+    call, not silent policy).
+    """
+
+    def __init__(self, max_entries: int = 128,
+                 disk_dir: Optional[Union[str, Path]] = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, SolveResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SolveResult]:
+        """The cached result for ``key``, or None; promotes to MRU."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return _clone(entry)
+        path = self._disk_path(key)
+        if path is not None and path.is_file():
+            try:
+                with open(path, "rb") as fh:
+                    entry = pickle.load(fh)
+            except Exception:
+                # Truncated/foreign file: a miss, and not worth keeping.
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+            else:
+                if isinstance(entry, SolveResult):
+                    with self._lock:
+                        self.hits += 1
+                        self.disk_hits += 1
+                        self._store(key, entry)
+                    return _clone(entry)
+                # Unpickles but is not ours: equally not worth keeping
+                # (and re-reading foreign pickle bytes on every probe).
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def _store(self, key: str, result: SolveResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def put(self, key: str, result: SolveResult) -> None:
+        """Store ``result`` (field copied) in memory and on disk."""
+        entry = _clone(result)
+        with self._lock:
+            self._store(key, entry)
+        path = self._disk_path(key)
+        if path is not None:
+            # pid+tid: two threads (or services sharing one cache) may
+            # persist the same key concurrently — each needs its own
+            # temp file or the interleaved writes publish garbage.
+            tmp = path.with_suffix(
+                ".tmp-%d-%d" % (os.getpid(), threading.get_ident()))
+            try:
+                with open(tmp, "wb") as fh:
+                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except OSError:  # pragma: no cover - disk tier is best-effort
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier; with ``disk=True`` also our disk files."""
+        with self._lock:
+            self._entries.clear()
+        if disk and self.disk_dir is not None:
+            for p in self.disk_dir.glob("*.pkl"):
+                if len(p.stem) == _KEY_HEX:
+                    try:
+                        p.unlink()
+                    except OSError:  # pragma: no cover
+                        pass

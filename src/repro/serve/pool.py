@@ -1,0 +1,120 @@
+"""Worker-pool state: warm procmpi sessions, checked out per batch.
+
+The service's worker *threads* are the pool slots; what actually costs
+money to set up is the **procmpi session** behind a slot — rank
+processes, shared-memory field blocks, halo rings (see
+:class:`~repro.dist.solver.ProcSolverSession`).  :class:`SessionPool`
+keeps those alive between jobs:
+
+* ``acquire(job)`` hands the caller an exclusive warm session whose
+  geometry matches the job (reuse), or builds one (cold start);
+* ``release(session)`` returns it for the next batch —
+  or closes and drops it when the solve failed (sessions are crash-only,
+  like the :class:`~repro.dist.procmpi.ProcWorld` underneath);
+* at most ``max_sessions`` are kept warm; acquiring a new geometry when
+  full evicts the least-recently-used idle session first.
+
+All counters (``created``, ``reused``, ``dropped``, ``evicted``) are
+deterministic for a fixed job sequence — the throughput acceptance test
+asserts pool amortisation on them, never on a wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from ..dist.solver import ProcSolverSession
+from .job import SolveJob
+
+__all__ = ["SessionPool"]
+
+
+class SessionPool:
+    """Exclusive check-out pool of warm :class:`ProcSolverSession`\\ s."""
+
+    def __init__(self, max_sessions: int = 2,
+                 start_method: Optional[str] = None,
+                 timeout: Optional[float] = None) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self.start_method = start_method
+        self.timeout = timeout
+        self._idle: List[ProcSolverSession] = []  # LRU order: oldest first
+        self._lock = threading.Lock()
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+        self.dropped = 0
+        self.evicted = 0
+
+    def acquire(self, job: SolveJob) -> ProcSolverSession:
+        """An exclusive session able to run ``job`` (warm if possible)."""
+        if not job.resolved:
+            raise ValueError("cannot place an unresolved job")
+        shape = job.grid.shape
+        dtype = np.dtype(job.grid.dtype)
+        halo = job.config.updates_per_pass
+        evict: List[ProcSolverSession] = []
+        try:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("session pool is closed")
+                for i, session in enumerate(self._idle):
+                    if session.compatible(shape, dtype, job.topology, halo):
+                        self._idle.pop(i)
+                        self.reused += 1
+                        return session
+                while len(self._idle) >= self.max_sessions:
+                    evict.append(self._idle.pop(0))
+                    self.evicted += 1
+        finally:
+            # Teardown joins rank processes (seconds for a wedged one) —
+            # never do that while holding the pool lock.
+            for session in evict:
+                session.close()
+        # Build outside the lock too: spawning ranks is the slow part
+        # and other workers must keep serving meanwhile.
+        session = ProcSolverSession(shape, dtype, job.topology, halo,
+                                    start_method=self.start_method,
+                                    timeout=self.timeout)
+        with self._lock:
+            self.created += 1
+        return session
+
+    def release(self, session: ProcSolverSession,
+                broken: bool = False) -> None:
+        """Return a session to the warm set, or drop a broken one."""
+        if broken or session.closed:
+            session.close()
+            with self._lock:
+                self.dropped += 1
+            return
+        evict: List[ProcSolverSession] = []
+        with self._lock:
+            if self._closed:
+                evict.append(session)
+            else:
+                self._idle.append(session)
+                while len(self._idle) > self.max_sessions:
+                    evict.append(self._idle.pop(0))
+                    self.evicted += 1
+        for s in evict:
+            s.close()
+
+    def close(self) -> None:
+        """Tear down every warm session (idempotent)."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for session in idle:
+            session.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,438 @@
+"""The concurrent solve service: submit jobs, get futures.
+
+:class:`Service` glues the serving layer together::
+
+    with Service(workers=2, cache_dir="benchmarks/results/cache") as svc:
+        f1 = svc.submit(grid, field, cfg, topology=(1, 1, 2),
+                        backend="procmpi")
+        f2 = svc.submit(grid, field, "auto")           # autotuned config
+        results = svc.map(jobs)                        # many at once
+        print(f1.result().levels_advanced, svc.stats)
+
+One submission flows: resolve ``config="auto"`` through the autotuner →
+compute the content key → **cache**? return a completed future without
+touching any backend → **identical job already in flight**? coalesce
+onto it → otherwise queue.  Worker threads pull *batches* of
+compatible jobs (see :mod:`repro.serve.scheduler`) and run each batch
+back-to-back on a warm slot: procmpi jobs check a persistent
+:class:`~repro.dist.solver.ProcSolverSession` out of the
+:class:`~repro.serve.pool.SessionPool` (rank processes and
+shared-memory segments survive across jobs), shared/simmpi jobs run
+in the worker thread directly.
+
+Failure semantics are fail-fast and job-scoped, matching the
+fault-injection contract of the distributed rails: the *original*
+exception of a failed solve comes out of exactly that job's
+``future.result()``; a crashed procmpi session is dropped (its world,
+segments and processes are already torn down — crash-only) and the pool
+warms a fresh one, so subsequent jobs keep being served.
+
+``workers=0`` puts the service in **synchronous** mode: nothing runs
+until :meth:`Service.drain` executes the queue on the calling thread —
+deterministic scheduling for tests and for callers that want batching
+without threads.
+
+The module-level :func:`submit` / :func:`map_jobs` operate on a shared
+default service (built on first use, reconfigurable via
+:func:`configure`, closed atexit); they are what ``repro.submit`` and
+``repro.map`` re-export.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.parameters import PipelineConfig
+from ..core.pipeline import SolveResult
+from ..grid.grid3d import Grid3D
+from ..kernels.stencils import StarStencil
+from ..machine.topology import MachineSpec
+from .autoconf import auto_config
+from .cache import ResultCache
+from .futures import SolveFuture, wait_all
+from .job import SolveJob
+from .pool import SessionPool
+from .scheduler import Entry, JobQueue
+
+__all__ = ["ServiceStats", "Service", "default_service", "configure",
+           "submit", "map_jobs", "shutdown"]
+
+
+@dataclass
+class ServiceStats:
+    """A deterministic snapshot of what the service did.
+
+    Everything here counts *events*, not seconds: for a fixed job
+    sequence the numbers are identical on any host, which is what lets
+    throughput assertions ("a warm pool spawns 2x fewer processes than
+    a cold loop") gate CI without wall-clock noise.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    #: Returned straight from the result cache; no backend ran.
+    cache_hits: int = 0
+    #: Attached to an identical in-flight job; no extra backend run.
+    coalesced: int = 0
+    #: Jobs whose ``config="auto"`` went through the autotuner.
+    auto_resolved: int = 0
+    #: Batches of >1 job that ran back-to-back on one warm slot.
+    batches: int = 0
+    batched_jobs: int = 0
+    #: Actual backend executions (<= submitted, thanks to the above).
+    backend_solves: int = 0
+    # Pool counters (procmpi sessions).
+    sessions_created: int = 0
+    sessions_reused: int = 0
+    sessions_dropped: int = 0
+    # Deltas of the global deterministic setup counters over this
+    # service's lifetime.
+    process_spawns: int = 0
+    segments_created: int = 0
+
+
+def _setup_counters() -> Dict[str, int]:
+    from ..dist.procmpi import process_spawns
+    from ..dist.shm import segment_creates
+
+    return {"spawns": process_spawns(), "segments": segment_creates()}
+
+
+class Service:
+    """A running solve service; use as a context manager.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads sharing the queue (pool slots).  ``0`` =
+        synchronous mode: jobs queue up until :meth:`drain` runs them on
+        the calling thread.
+    cache:
+        ``True`` (default) for an in-memory LRU, ``False`` to disable
+        caching, or a ready :class:`ResultCache` to share one across
+        services.
+    cache_entries, cache_dir:
+        LRU capacity and the optional on-disk tier (e.g.
+        ``benchmarks/results/cache/``) for the default-built cache.
+    machine:
+        Machine model the autotuner resolves ``config="auto"`` against
+        (default: the paper's Nehalem EP preset).
+    max_sessions:
+        Warm procmpi sessions kept alive (default: ``max(workers, 1)``).
+    batch_limit, batch_bytes:
+        Batch formation knobs (see :class:`~repro.serve.scheduler.JobQueue`).
+    start_method, comm_timeout:
+        Forwarded to the procmpi sessions.
+    """
+
+    def __init__(self, workers: int = 2,
+                 cache: Union[bool, ResultCache] = True,
+                 cache_entries: int = 128,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 machine: Optional[MachineSpec] = None,
+                 max_sessions: Optional[int] = None,
+                 batch_limit: int = 8,
+                 batch_bytes: int = 4 << 20,
+                 start_method: Optional[str] = None,
+                 comm_timeout: Optional[float] = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.machine = machine
+        if cache is True:
+            self._cache: Optional[ResultCache] = ResultCache(
+                max_entries=cache_entries, disk_dir=cache_dir)
+        elif cache is False:
+            self._cache = None
+        else:
+            self._cache = cache
+        self._queue = JobQueue(batch_limit=batch_limit,
+                               batch_bytes=batch_bytes)
+        self._sessions = SessionPool(
+            max_sessions=(max_sessions if max_sessions is not None
+                          else max(workers, 1)),
+            start_method=start_method, timeout=comm_timeout)
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+        self._inflight: Dict[str, Entry] = {}
+        self._baseline = _setup_counters()
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"serve-worker-{i}", daemon=True)
+            for i in range(workers)]
+        for t in self._workers:
+            t.start()
+
+    # -- submission --------------------------------------------------------------
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, grid: Grid3D, field: np.ndarray,
+               config: Union[PipelineConfig, str],
+               topology: Optional[Sequence[int]] = None,
+               backend: str = "shared",
+               stencil: Optional[StarStencil] = None,
+               priority: int = 0) -> SolveFuture:
+        """Queue one solve; mirrors :func:`repro.solve` plus ``priority``.
+
+        Pass ``config="auto"`` to let the service pick the pipeline
+        parameters (deterministic autotuner sweep on the machine model).
+        """
+        job = SolveJob(grid=grid, field=field, config=config,
+                       topology=(tuple(int(p) for p in topology)
+                                 if topology is not None else (1, 1, 1)),
+                       backend=backend, stencil=stencil, priority=priority)
+        return self.submit_job(job)
+
+    def submit_job(self, job: SolveJob) -> SolveFuture:
+        """Queue a prepared :class:`SolveJob`; returns its future."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if not job.resolved:
+            cfg = auto_config(job.grid, job.topology, machine=self.machine)
+            job = job.with_config(cfg)
+            with self._lock:
+                self._stats.auto_resolved += 1
+        future = SolveFuture(job)
+        key = (job.content_key()
+               if (job.cacheable and self._cache is not None) else None)
+        # The cache probe stays outside the service lock — the disk tier
+        # does real I/O and the cache carries its own lock.  The window
+        # in which a just-completed identical job is past this probe but
+        # no longer in flight costs at most one redundant (and
+        # bit-identical) recompute, never a wrong result.
+        hit = self._cache.get(key) if key is not None else None
+        with self._lock:
+            self._stats.submitted += 1
+            if hit is not None:
+                self._stats.cache_hits += 1
+                future.cache_hit = True
+            else:
+                if key is not None:
+                    inflight = self._inflight.get(key)
+                    if inflight is not None:
+                        self._stats.coalesced += 1
+                        future.coalesced = True
+                        inflight.futures.append(future)
+                        return future
+                entry = Entry(job=job, key=key, futures=[future])
+                if key is not None:
+                    self._inflight[key] = entry
+        if hit is not None:
+            future._set_result(hit)
+            return future
+        self._queue.push(entry)
+        return future
+
+    def map(self, jobs: Iterable[SolveJob],
+            timeout: Optional[float] = None) -> List[SolveResult]:
+        """Submit ``jobs`` and return their results in order.
+
+        In synchronous mode (``workers=0``) this drains the queue
+        itself.  Fail-fast: raises the first failed job's original
+        exception (submission order), after all jobs finished.
+        """
+        futures = [self.submit_job(j) for j in jobs]
+        if not self._workers:
+            self.drain()
+        return wait_all(futures, timeout=timeout)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.pop_batch(timeout=0.2)
+            if batch is None:
+                if self._queue.closed:
+                    return
+                continue
+            self._run_batch(batch)
+
+    def drain(self) -> int:
+        """Run everything queued on the calling thread; returns jobs run.
+
+        The synchronous half of ``workers=0`` mode; also usable on a
+        threaded service to lend the caller's thread to the pool.
+        """
+        ran = 0
+        while True:
+            batch = self._queue.pop_batch(timeout=0)
+            if not batch:
+                return ran
+            self._run_batch(batch)
+            ran += len(batch)
+
+    def _run_batch(self, batch: List[Entry]) -> None:
+        if len(batch) > 1:
+            with self._lock:
+                self._stats.batches += 1
+                self._stats.batched_jobs += len(batch)
+        for entry in batch:
+            self._run_entry(entry)
+
+    def _run_entry(self, entry: Entry) -> None:
+        # Claim the waiters under the service lock — coalescing appends
+        # to entry.futures under the same lock, so a future attached
+        # concurrently is either claimed here or fanned out at
+        # completion; it can never be dropped.
+        with self._lock:
+            live = [f for f in entry.futures if f._mark_started()]
+            if not live:
+                if entry.key is not None:
+                    self._inflight.pop(entry.key, None)
+                self._stats.cancelled += len(entry.futures)
+                return
+        try:
+            result = self._execute(entry.job)
+        except BaseException as exc:  # noqa: BLE001 — future carries it
+            with self._lock:
+                if entry.key is not None:
+                    self._inflight.pop(entry.key, None)
+                self._stats.failed += 1
+                waiters = list(entry.futures)
+            for f in waiters:
+                f._set_exception(exc)
+        else:
+            if entry.key is not None and self._cache is not None:
+                # Populate the cache before dropping the in-flight entry
+                # so a racing identical submit either coalesces or hits
+                # (modulo the benign probe window documented in
+                # submit_job).  Outside the service lock: the disk tier
+                # may write real bytes.
+                self._cache.put(entry.key, result)
+            with self._lock:
+                if entry.key is not None:
+                    self._inflight.pop(entry.key, None)
+                self._stats.completed += 1
+                waiters = list(entry.futures)
+            for f in waiters:
+                f._set_result(result)
+
+    def _execute(self, job: SolveJob) -> SolveResult:
+        with self._lock:
+            self._stats.backend_solves += 1
+        if job.backend == "procmpi":
+            session = self._sessions.acquire(job)
+            try:
+                result = session.solve_pipelined(job.grid, job.field,
+                                                 job.config,
+                                                 stencil=job.stencil)
+            except BaseException:
+                # The session closed itself (crash-only); drop it and
+                # let the pool warm a fresh one for the next job.
+                self._sessions.release(session, broken=True)
+                raise
+            self._sessions.release(session)
+            return result
+        from ..api import solve
+
+        return solve(job.grid, job.field, job.config,
+                     topology=job.topology, backend=job.backend,
+                     stencil=job.stencil)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A point-in-time copy (pool and setup counters folded in)."""
+        now = _setup_counters()
+        with self._lock:
+            snap = replace(self._stats)
+        snap.sessions_created = self._sessions.created
+        snap.sessions_reused = self._sessions.reused
+        snap.sessions_dropped = self._sessions.dropped
+        snap.process_spawns = now["spawns"] - self._baseline["spawns"]
+        snap.segments_created = now["segments"] - self._baseline["segments"]
+        return snap
+
+    def close(self) -> None:
+        """Finish queued work, stop the workers, tear down the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.close()
+        for t in self._workers:
+            t.join()
+        self.drain()  # synchronous mode: whatever is still queued
+        self._sessions.close()
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# The default service behind repro.submit / repro.map.
+# ---------------------------------------------------------------------------
+
+_default: Optional[Service] = None
+_default_lock = threading.Lock()
+
+
+def default_service() -> Service:
+    """The process-wide service (created on first use)."""
+    global _default
+    with _default_lock:
+        if _default is None or _default.closed:
+            _default = Service()
+        return _default
+
+
+def configure(**kwargs: Any) -> Service:
+    """Replace the default service (closing any previous one).
+
+    Accepts every :class:`Service` constructor argument, e.g.
+    ``repro.serve.configure(workers=4, cache_dir="benchmarks/results/cache")``.
+    """
+    global _default
+    with _default_lock:
+        if _default is not None:
+            _default.close()
+        _default = Service(**kwargs)
+        return _default
+
+
+def submit(grid: Grid3D, field: np.ndarray,
+           config: Union[PipelineConfig, str],
+           topology: Optional[Sequence[int]] = None,
+           backend: str = "shared",
+           stencil: Optional[StarStencil] = None,
+           priority: int = 0) -> SolveFuture:
+    """``repro.submit`` — queue one solve on the default service."""
+    return default_service().submit(grid, field, config, topology=topology,
+                                    backend=backend, stencil=stencil,
+                                    priority=priority)
+
+
+def map_jobs(jobs: Iterable[SolveJob],
+             timeout: Optional[float] = None) -> List[SolveResult]:
+    """``repro.map`` — run many jobs on the default service, in order."""
+    return default_service().map(jobs, timeout=timeout)
+
+
+def shutdown() -> None:
+    """Close the default service (registered atexit; safe to call twice)."""
+    global _default
+    with _default_lock:
+        svc, _default = _default, None
+    if svc is not None:
+        svc.close()
+
+
+atexit.register(shutdown)

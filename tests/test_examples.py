@@ -45,3 +45,10 @@ def test_cluster_scaling():
     out = run_example("cluster_scaling.py")
     assert "distributed == single-domain reference" in out
     assert "pipelined 2PPN [weak]" in out
+
+
+@pytest.mark.slow
+def test_serving():
+    out = run_example("serving.py")
+    assert "cache hit: bit-identical result" in out
+    assert "rank processes spawned" in out

@@ -49,6 +49,10 @@ def _allreduce_fn(comm, rank):
     return comm.allreduce_max(float(rank))
 
 
+def _return_unpicklable_fn(comm, rank):
+    return lambda: rank  # lambdas never pickle
+
+
 def _barrier_fn(comm, rank):
     for _ in range(3):
         comm.barrier()
@@ -229,6 +233,23 @@ class TestDriver:
         closure = lambda comm, rank: rank  # noqa: E731 — deliberately local
         with pytest.raises(ProcMPIError, match="pickle"):
             run_procs(2, closure, start_method="spawn")
+
+    def test_fork_rejects_unpicklable_fn_instead_of_hanging(self):
+        # Jobs reach the persistent rank processes through a queue that
+        # pickles under every start method; an unchecked closure would
+        # be dropped by the queue feeder and wedge the world forever.
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        closure = lambda comm, rank: rank  # noqa: E731 — deliberately local
+        with pytest.raises(ProcMPIError, match="pickle"):
+            run_procs(2, closure, start_method="fork")
+
+    def test_unpicklable_return_value_fails_instead_of_hanging(self):
+        # Same trap on the way back: the rank pre-pickles its return
+        # value, so an unpicklable result is a reported job failure,
+        # not a message silently dropped by the queue feeder.
+        with pytest.raises(Exception, match="(?i)pickle"):
+            run_procs(2, _return_unpicklable_fn, timeout=30.0)
 
     def test_no_zombie_processes_after_runs(self):
         run_procs(3, _barrier_fn, timeout=60.0)
