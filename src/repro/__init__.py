@@ -37,6 +37,12 @@ the same configuration on either backend::
     assert np.allclose(dist.field, ref)
 """
 
+from .engine import (
+    Engine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from .grid import Box, BlockDecomposition, DirichletBoundary, Grid3D, random_field
 from .kernels import (
     StarStencil,
@@ -63,7 +69,7 @@ from .api import BACKENDS, map_jobs, solve, submit
 #: serving layer lazily, at call time).
 map = map_jobs
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Symbols re-exported from the distributed rail.  Resolved lazily (PEP
 #: 562) so that `import repro` — and with it the shared-memory rail and
@@ -124,6 +130,10 @@ def __dir__():
                   | _AUTOTUNE_EXPORTS)
 
 __all__ = [
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "Box",
     "BlockDecomposition",
     "DirichletBoundary",

@@ -36,6 +36,7 @@ Backends
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -70,6 +71,7 @@ def solve(
     topology: Optional[Sequence[int]] = None,
     backend: str = "shared",
     stencil: Optional[StarStencil] = None,
+    engine: Optional[str] = None,
 ) -> SolveResult:
     """Advance ``field`` by ``config.total_updates`` levels on ``backend``.
 
@@ -86,6 +88,11 @@ def solve(
         docstring).
     stencil:
         Optional radius-1 star stencil (defaults to the 7-point Jacobi).
+    engine:
+        Optional kernel-execution engine name (:mod:`repro.engine`);
+        overrides ``config.engine``.  Engines are bit-identical, so
+        this changes throughput, never the result — every backend
+        dispatches the same engine registry per rank.
 
     Returns
     -------
@@ -96,6 +103,8 @@ def solve(
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if engine is not None and engine != config.engine:
+        config = replace(config, engine=engine)
     topo = _check_topology(topology)
     if backend == "shared":
         if topo != (1, 1, 1):
@@ -116,7 +125,8 @@ def submit(grid: Grid3D, field: np.ndarray,
            topology: Optional[Sequence[int]] = None,
            backend: str = "shared",
            stencil: Optional[StarStencil] = None,
-           priority: int = 0):
+           priority: int = 0,
+           engine: Optional[str] = None):
     """Queue a solve on the process-wide service; returns a future.
 
     The asynchronous sibling of :func:`solve` — same arguments, plus a
@@ -126,10 +136,20 @@ def submit(grid: Grid3D, field: np.ndarray,
     duplicate coalescing, batching and the content-addressed result
     cache.  ``future.result()`` returns the identical
     :class:`~repro.core.pipeline.SolveResult` a direct ``solve`` call
-    would have produced — bit-identical when served from cache.
+    would have produced — bit-identical when served from cache.  Since
+    engines of one semantics class are bit-identical, jobs differing
+    only in ``engine`` share one cache entry (exactly like transports).
     """
     from .serve import submit as _submit
 
+    if engine is not None:
+        if not isinstance(config, PipelineConfig):
+            raise ValueError(
+                "engine cannot be combined with config='auto'; the "
+                "autotuner resolves the full configuration (pass "
+                "engines=... to repro.autotune for an engine sweep)")
+        if engine != config.engine:
+            config = replace(config, engine=engine)
     return _submit(grid, field, config, topology=topology, backend=backend,
                    stencil=stencil, priority=priority)
 

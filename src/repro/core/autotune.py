@@ -40,6 +40,7 @@ def autotune(
     T_values: Sequence[int] = (1, 2, 4),
     du_values: Sequence[int] = (1, 2, 4, 8),
     storages: Sequence[str] = ("compressed", "twogrid"),
+    engines: Sequence[str] = ("numpy",),
     seed: int = 0,
     top: Optional[int] = None,
 ) -> List[TuneResult]:
@@ -48,9 +49,20 @@ def autotune(
     The search space mirrors the knobs the paper tuned by hand: inner
     block length ``b_x`` ("decisive for good performance"), block
     thickness, updates per thread ``T`` ("usually 2"), the sync window
-    ``d_u`` ("1–4 with the block sizes chosen") and the storage scheme.
+    ``d_u`` ("1–4 with the block sizes chosen") and the storage scheme —
+    plus, since PR 5, the kernel-execution **engine**
+    (:mod:`repro.engine`).  The DES models the schedule and the memory
+    hierarchy, which engines do not change (they are bit-identical
+    traversal/fusion variants), so engine points tie on simulated
+    MLUP/s and the stable sort ranks them in the order given —
+    callers wanting measured engine differences sweep the
+    ``solve_*`` perf scenarios instead.  Pass
+    ``engines=repro.engine.available_engines()`` to enumerate every
+    engine registered in this process.
     """
     from ..sim.des_pipeline import simulate_pipelined  # late: avoid cycle
+
+    from dataclasses import replace as _replace
 
     results: List[TuneResult] = []
     for storage in storages:
@@ -66,9 +78,15 @@ def autotune(
                             sync=RelaxedSpec(1, du),
                             storage=storage,
                         )
+                        # One DES run covers every engine: engines are
+                        # bit-identical traversal variants the machine
+                        # model does not distinguish, so the simulated
+                        # rate is shared and only the config differs.
                         rep = simulate_pipelined(machine, cfg, shape,
                                                  seed=seed)
-                        results.append(TuneResult(cfg, rep.mlups,
-                                                  rep.reloads))
+                        for engine in engines:
+                            results.append(TuneResult(
+                                _replace(cfg, engine=engine),
+                                rep.mlups, rep.reloads))
     results.sort(key=lambda r: -r.mlups)
     return results[:top] if top else results

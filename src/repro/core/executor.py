@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine import get_engine
 from ..grid.blocks import BlockDecomposition
 from ..grid.grid3d import Grid3D
 from ..grid.region import Box
@@ -108,6 +109,10 @@ class PipelineExecutor:
         self.active_fn = active_fn
         self.decomp: BlockDecomposition = make_decomposition(grid.domain, config)
         self.policy = make_policy(config)
+        #: Kernel-execution engine every update dispatches through
+        #: (:mod:`repro.engine`); engines are bit-identical, so this
+        #: changes throughput, never the schedule or the results.
+        self.engine = get_engine(config.engine)
         self.storage = make_storage(config.storage, grid, field,
                                     self.decomp.shift_vec,
                                     config.updates_per_pass, validate=validate)
@@ -201,11 +206,6 @@ class PipelineExecutor:
             self.stats.empty_block_ops += 1
 
     def _apply_update(self, region: Box, level: int) -> None:
-        st = self.stencil
-        center = self.storage._read_inside(region, level - 1)
-        neighbors = [self.storage.gather(region, off, level - 1)
-                     for off in st.offsets]
-        values = st.apply(center, neighbors)
-        self.storage.write(region, level, values)
+        self.engine.apply(self.stencil, self.storage, region, level)
         self.stats.updates += 1
         self.stats.cells_updated += region.ncells

@@ -9,7 +9,8 @@ captured here as explicit dataclasses:
 * block size ``(bz, by, bx)``,
 * synchronisation: global barrier, or relaxed counters with window
   ``[d_l, d_u]`` and team delay ``d_t`` (Eq. 3),
-* storage scheme: separate grids A/B, or the compressed grid.
+* storage scheme: separate grids A/B, or the compressed grid,
+* execution engine: how the innermost update runs (:mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -114,6 +115,11 @@ class PipelineConfig:
     passes:
         Number of full pipeline passes; each pass advances every cell by
         ``updates_per_pass`` time levels (with a barrier between passes).
+    engine:
+        Kernel-execution engine name (:mod:`repro.engine` registry);
+        every engine is bit-identical to the default ``"numpy"``, so
+        this knob moves throughput, never results.  Travels with the
+        configuration through every backend and the serving layer.
     """
 
     teams: int = 1
@@ -123,6 +129,7 @@ class PipelineConfig:
     sync: SyncSpec = field(default_factory=BarrierSpec)
     storage: str = "twogrid"
     passes: int = 1
+    engine: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.teams < 1:
@@ -139,6 +146,11 @@ class PipelineConfig:
             raise ValueError(f"bad block size {self.block_size!r}")
         object.__setattr__(self, "block_size",
                            tuple(int(b) for b in self.block_size))
+        # Late import: the engine layer is below core in the import
+        # graph, but this module is imported from its package __init__.
+        from ..engine import check_engine
+
+        check_engine(self.engine)
 
     # -- derived quantities ------------------------------------------------------
 
@@ -183,8 +195,9 @@ class PipelineConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary used by the bench harness."""
+        engine = "" if self.engine == "numpy" else f",{self.engine}"
         return (
             f"pipeline(n={self.teams},t={self.threads_per_team},"
             f"T={self.updates_per_thread},b={self.block_size},"
-            f"{self.sync.describe()},{self.storage})"
+            f"{self.sync.describe()},{self.storage}{engine})"
         )

@@ -64,7 +64,30 @@ class _StorageBase:
     def inject(self, box: Box, level: int, values: np.ndarray) -> None:
         raise NotImplementedError
 
+    def write_view(self, region: Box, level: int) -> np.ndarray:
+        raise NotImplementedError
+
     # -- common operations ---------------------------------------------------------
+
+    def read(self, box: Box, level: int) -> np.ndarray:
+        """Values of ``box`` at time ``level`` (validated; may be a view).
+
+        The public read entry point of the execution engines; ``box``
+        must lie inside the stored domain (use :meth:`gather` for
+        stencil reads that may cross the Dirichlet ring).
+        """
+        return self._read_inside(box, level)
+
+    def commit_write(self, region: Box, level: int) -> None:
+        """Mark a :meth:`write_view` destination as written.
+
+        The caller must have filled the view completely; only after the
+        commit do level bookkeeping (and, for the compressed grid, the
+        position tracking) reflect the update.
+        """
+        if region.is_empty:
+            return
+        self.levels[region.slices()] = level
 
     def extract(self, level: int) -> np.ndarray:
         """The whole interior at a uniform time level."""
@@ -159,6 +182,21 @@ class TwoGridStorage(_StorageBase):
             return
         self._arrays[level % 2][region.slices()] = values
         self.levels[region.slices()] = level
+
+    def write_view(self, region: Box, level: int) -> np.ndarray:
+        """Writable destination view for the update ``level-1 -> level``.
+
+        The in-place engine's entry point: the caller fills the view
+        (which lives in the array ``level`` will occupy — the *other*
+        grid, so no aliasing with level-1 reads is possible here) and
+        then calls :meth:`commit_write`.  Pre-write legality checks run
+        now, before any byte moves.
+        """
+        if self.validate and not region.is_empty:
+            if not self.domain.contains_box(region):
+                raise StorageError(f"write region {region} outside stored domain")
+            self.check_uniform_level(region, level - 1)
+        return self._arrays[level % 2][region.slices()]
 
     def extract_region(self, box: Box, level: int) -> np.ndarray:
         """Copy out ``box`` at a uniform ``level`` (validated)."""
@@ -255,6 +293,29 @@ class CompressedStorage(_StorageBase):
         sl = self._pos_slices(region, level)
         self._array[sl] = values
         self._pos_level[sl] = level
+        self.levels[region.slices()] = level
+
+    def write_view(self, region: Box, level: int) -> np.ndarray:
+        """Writable view of the *shifted* destination positions.
+
+        This is the paper's actual in-place compressed-grid update: the
+        view overlaps positions still holding level-1 values of other
+        cells, so the caller (the in-place engine) must traverse planes
+        in the direction the storage offsets move and fill the view
+        only after all its reads.  :meth:`commit_write` then flips the
+        position tracking, so any ordering mistake is still caught
+        deterministically by the next validated read.
+        """
+        if self.validate and not region.is_empty:
+            if not self.domain.contains_box(region):
+                raise StorageError(f"write region {region} outside stored domain")
+            self.check_uniform_level(region, level - 1)
+        return self._array[self._pos_slices(region, level)]
+
+    def commit_write(self, region: Box, level: int) -> None:
+        if region.is_empty:
+            return
+        self._pos_level[self._pos_slices(region, level)] = level
         self.levels[region.slices()] = level
 
     def extract_region(self, box: Box, level: int) -> np.ndarray:

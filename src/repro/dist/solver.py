@@ -169,12 +169,16 @@ def _sweeps_rank_body(comm: Comm, rank: int, boundary: DirichletBoundary,
                       dtype, decomp: CartesianDecomposition,
                       plan: List[ExchangeEntry], stored_field: np.ndarray,
                       supersteps: int, halo: int, stencil: StarStencil,
+                      engine: str = "numpy",
                       ) -> Tuple[Box, np.ndarray, int, int]:
     """One rank of the multi-halo sweeps scheme.
 
     ``stored_field`` holds the rank's stored-box values (a view is fine;
     it is copied immediately).  Returns the global core box, its final
-    values, and the traffic counters.
+    values, and the traffic counters.  ``engine`` picks the
+    kernel-execution engine for the trapezoid sweeps — resolved from
+    the registry *inside* the rank, so both transports (threads and
+    spawned processes) dispatch identically.
     """
     geo = decomp.geometry(rank)
     off = geo.stored.lo
@@ -200,7 +204,8 @@ def _sweeps_rank_body(comm: Comm, rank: int, boundary: DirichletBoundary,
         messages += m
         for s in range(1, halo + 1):
             region = core_l.grow(halo - s).intersect(lgrid.domain)
-            reference_sweep_region(cur, nxt, region.lo, region.hi, stencil)
+            reference_sweep_region(cur, nxt, region.lo, region.hi, stencil,
+                                   engine=engine)
             cur, nxt = nxt, cur
     return geo.core, cur[core_l.slices((1, 1, 1))].copy(), nbytes, messages
 
@@ -273,8 +278,10 @@ class _ProcTask:
     stencil: StarStencil
     field_in: ShmArrayHandle
     field_out: ShmArrayHandle
-    # sweeps parameters
+    # sweeps parameters (the pipelined path carries its engine inside
+    # ``config``, so the spawned ranks inherit it with no extra plumbing)
     supersteps: int = 0
+    engine: str = "numpy"
     # pipelined parameters
     config: Optional[PipelineConfig] = None
     order: str = "round_robin"
@@ -290,7 +297,7 @@ def _proc_sweeps_entry(comm: Comm, rank: int, task: _ProcTask):
         core, vals, nbytes, messages = _sweeps_rank_body(
             comm, rank, task.boundary, np.dtype(task.dtype), decomp, plan,
             fin[geo.stored.slices()], task.supersteps, task.halo,
-            task.stencil)
+            task.stencil, engine=task.engine)
         fout[core.slices()] = vals
     return core, nbytes, messages
 
@@ -436,13 +443,14 @@ class ProcSolverSession:
 
     def solve_sweeps(self, grid: Grid3D, field: np.ndarray,
                      supersteps: int,
-                     stencil: Optional[StarStencil] = None) -> SolveResult:
+                     stencil: Optional[StarStencil] = None,
+                     engine: str = "numpy") -> SolveResult:
         """The multi-halo sweeps scheme on the warm ranks."""
         if supersteps < 1:
             raise ValueError("supersteps must be >= 1")
         outs, assembled = self._run(
             _proc_sweeps_entry, grid, field, stencil or jacobi7(),
-            supersteps=supersteps)
+            supersteps=supersteps, engine=engine)
         return SolveResult(
             field=assembled,
             levels_advanced=supersteps * self.halo,
@@ -482,12 +490,15 @@ def distributed_jacobi_sweeps(
     halo: int,
     stencil: Optional[StarStencil] = None,
     transport: str = "simmpi",
+    engine: str = "numpy",
 ) -> SolveResult:
     """``supersteps`` rounds of (h-layer exchange, then h trapezoid sweeps).
 
     Advances the field by ``supersteps * halo`` time levels, equal to that
     many plain Jacobi sweeps on the undecomposed domain.  ``transport``
-    picks thread ranks (``"simmpi"``) or process ranks (``"procmpi"``).
+    picks thread ranks (``"simmpi"``) or process ranks (``"procmpi"``);
+    ``engine`` picks the kernel-execution engine (bit-identical across
+    engines, so it moves throughput only).
     """
     if supersteps < 1:
         raise ValueError("supersteps must be >= 1")
@@ -500,14 +511,15 @@ def distributed_jacobi_sweeps(
         # warm pools, paying the full setup for this single solve.
         with ProcSolverSession(grid.shape, grid.dtype, decomp.proc_grid,
                                halo, decomp=decomp, plans=plans) as session:
-            return session.solve_sweeps(grid, field, supersteps, stencil=st)
+            return session.solve_sweeps(grid, field, supersteps, stencil=st,
+                                        engine=engine)
 
     def rank_fn(comm: Comm, rank: int):
         geo = decomp.geometry(rank)
         return _sweeps_rank_body(comm, rank, grid.boundary, grid.dtype,
                                  decomp, plans[rank],
                                  field[geo.stored.slices()], supersteps,
-                                 halo, st)
+                                 halo, st, engine=engine)
 
     outs = run_ranks(decomp.n_ranks, rank_fn)
     return SolveResult(

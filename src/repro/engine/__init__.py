@@ -1,0 +1,67 @@
+"""repro.engine — the pluggable kernel-execution layer.
+
+The temporal-blocking *schedule* (which cell advances when, validated
+by :mod:`repro.core`) is independent of how the innermost stencil
+update is *executed*; this package makes the execution strategy a
+first-class, registry-dispatched choice — Sect. 1.1/1.4's point that
+the same schedule can be driven arbitrarily close to the hardware
+limit by changing only the inner kernel.
+
+Built-in engines (all bit-identical, semantics class ``vector-v1``):
+
+========== ==================================================================
+``numpy``  Whole-region vectorised gather (the historical default).
+``blocked`` Cache-aware tiled traversal reusing the block machinery.
+``inplace`` Fused plane-wise update writing destination storage directly
+            (the compressed grid's in-place trick, Sect. 1.3).
+``numba``  Optional ``njit(parallel=True)`` fused loops; registers only
+            when :mod:`numba` is installed.
+========== ==================================================================
+
+Select an engine per solve (``repro.solve(..., engine="blocked")``) or
+per configuration (``PipelineConfig(engine="inplace")``); every rail —
+shared, ``simmpi``, ``procmpi``, the serving layer and the perf
+harness — dispatches through the same registry, so the choice follows
+the configuration everywhere.
+"""
+
+from .base import Engine, nonzero_terms
+from .blocked import BlockedEngine, DEFAULT_TILE
+from .inplace import InplaceEngine
+from .numba_engine import HAVE_NUMBA, NumbaEngine
+from .numpy_engine import NumpyEngine
+from .registry import (
+    DEFAULT_ENGINE,
+    KNOWN_ENGINES,
+    available_engines,
+    check_engine,
+    engine_semantics,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+
+__all__ = [
+    "Engine",
+    "NumpyEngine",
+    "BlockedEngine",
+    "InplaceEngine",
+    "NumbaEngine",
+    "HAVE_NUMBA",
+    "DEFAULT_ENGINE",
+    "DEFAULT_TILE",
+    "KNOWN_ENGINES",
+    "nonzero_terms",
+    "available_engines",
+    "check_engine",
+    "engine_semantics",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
+]
+
+register_engine(NumpyEngine())
+register_engine(BlockedEngine())
+register_engine(InplaceEngine())
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    register_engine(NumbaEngine())

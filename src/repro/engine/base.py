@@ -1,0 +1,134 @@
+"""The :class:`Engine` contract: how one stencil update is *executed*.
+
+The paper's central claim (Sect. 1.1/1.4) is that a temporal-blocking
+*schedule* — which cells advance to which time level when — is
+independent of how the innermost update is executed: plain vectorised
+sweeps, spatially blocked traversal, in-place compressed-grid updates
+and SIMD/JIT-compiled loops all drive the very same schedule, and only
+move the achieved bandwidth closer to the hardware limit.  This module
+makes that separation first-class: an :class:`Engine` executes the
+update ``level-1 -> level`` on a region, and *everything else* (the
+executor, the distributed rank bodies, the reference sweeps) dispatches
+through it.
+
+The invariant every engine must uphold is the repo's signature move:
+**bit-identical results**.  Two engines of the same :attr:`semantics`
+class must produce byte-for-byte equal fields for every stencil,
+storage scheme and backend — which is what lets the serving layer share
+cache entries across engines, exactly as it shares them across
+transports (see :mod:`repro.serve.job`).  The differential battery in
+``tests/test_engine_equivalence.py`` pins this for every registered
+engine.
+
+Two entry points cover the two ways the repo stores fields:
+
+* :meth:`Engine.apply` — storage-mediated, used by the pipelined
+  executor.  ``src``/``dst`` are implicit in the storage scheme (for
+  the two-grid layout they are separate arrays; for the compressed
+  grid they are shifted positions of *one* array), so the engine reads
+  through ``storage.read``/``storage.gather`` (which patch Dirichlet
+  values) and writes through ``storage.write`` /
+  ``storage.write_view``.
+* :meth:`Engine.apply_padded` — a padded two-array pair, used by the
+  reference sweeps, the host micro-benchmarks and the multi-halo
+  distributed sweeps.
+
+Engines must skip offsets whose weight is exactly ``0.0`` (matching
+:meth:`repro.kernels.stencils.StarStencil.apply`): a zero weight
+contributes nothing and must not turn an Inf/NaN neighbour into NaN.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Engine", "nonzero_terms"]
+
+Coord = Tuple[int, int, int]
+
+
+def nonzero_terms(stencil) -> List[Tuple[Coord, float]]:
+    """The gathered ``(offset, weight)`` pairs with nonzero weight.
+
+    Canonical offset order (see ``AXIS_OFFSETS``); zero-weight offsets
+    are dropped here, once, so every engine accumulates the exact same
+    floating-point term sequence per cell.
+    """
+    return [(off, stencil.weights[off]) for off in stencil.offsets
+            if stencil.weights[off] != 0.0]
+
+
+class Engine:
+    """One way of executing the innermost stencil update.
+
+    Subclasses set the class attributes and implement both ``apply``
+    methods.  Engines are stateless between calls (scratch buffers may
+    be allocated per call); one registered instance serves every
+    thread, rank and backend.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"numpy"``.
+    semantics:
+        The *bit-semantics class*.  Engines sharing this string promise
+        byte-identical results on identical inputs; it — not the
+        engine name — enters the service's content keys, so caches are
+        shared within a class and never across classes.
+    tiled:
+        Capability flag: traverses the region in cache-sized tiles.
+    fused_inplace:
+        Capability flag: writes straight into the destination storage
+        positions (no full-region temporary).
+    jit:
+        Capability flag: compiles the update loop (optional deps).
+    requires:
+        Name of the optional dependency gating this engine, or ``None``.
+    """
+
+    name: str = "abstract"
+    semantics: str = "vector-v1"
+    tiled: bool = False
+    fused_inplace: bool = False
+    jit: bool = False
+    requires = None
+
+    # -- the two execution entry points ---------------------------------------
+
+    def apply(self, stencil, storage, region, level: int) -> None:
+        """Execute the update ``level-1 -> level`` on ``region``.
+
+        ``region`` is a :class:`~repro.grid.region.Box` inside the
+        storage's domain (empty boxes are a no-op); ``storage`` is a
+        scheme from :mod:`repro.core.storage`, whose validation hooks
+        (two-buffer window, compressed-position tracking) stay active —
+        an engine that reads or writes illegally raises deterministically
+        instead of corrupting the schedule.
+        """
+        raise NotImplementedError
+
+    def apply_padded(self, stencil, src: np.ndarray, dst: np.ndarray,
+                     lo: Sequence[int], hi: Sequence[int]) -> None:
+        """One sweep over interior cells ``[lo, hi)`` of a padded pair.
+
+        ``src`` has a one-cell ghost ring (shape ``interior + 2`` per
+        dim) supplying out-of-region values; ``dst`` receives the
+        updated region while every other cell keeps its current value.
+        ``src`` and ``dst`` must not alias.
+        """
+        raise NotImplementedError
+
+    # -- conveniences ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line summary for tables and reports."""
+        caps = [flag for flag, on in (("tiled", self.tiled),
+                                      ("fused-inplace", self.fused_inplace),
+                                      ("jit", self.jit)) if on]
+        extra = f" [{', '.join(caps)}]" if caps else ""
+        return f"{self.name}({self.semantics}){extra}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Engine {self.describe()}>"

@@ -1,0 +1,135 @@
+"""Optional parallel-JIT engine (registers only when numba imports).
+
+The paper's C kernels reach the bandwidth limit with compiled,
+OpenMP-parallel loops; this engine is the Python-world equivalent — a
+``numba.njit(parallel=True)`` fused multiply-add loop over the update
+region.  It is strictly optional: when :mod:`numba` is absent the
+module still imports, :data:`HAVE_NUMBA` is ``False``, nothing
+registers, and ``get_engine("numba")`` raises an error naming the
+missing dependency.  CI runs the suite both ways so the clean
+environment can never break (the numba test leg is skip-marked).
+
+Bit-identity with the numpy engine holds because the compiled loop
+replays the same per-cell term sequence — one multiply-add per nonzero
+offset in canonical order, centre term last — in the field dtype, with
+``fastmath`` left off so no reassociation or FMA contraction is
+allowed.  The region gathers (with their Dirichlet patching and
+storage validation) stay on the storage scheme; only the arithmetic is
+compiled.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Engine, nonzero_terms
+
+__all__ = ["HAVE_NUMBA", "NumbaEngine"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # the supported default environment
+    numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(parallel=True, fastmath=False)
+    def _fused_terms(out, stacked, weights, center, cw, has_center):
+        """out[c] = sum_k w[k]*stacked[k, c] (+ cw*center[c]), per cell.
+
+        ``weights``/``cw`` are pre-cast to the field dtype so every
+        operation rounds exactly like the numpy engine's vectorised
+        multiply-adds.
+        """
+        nz, ny, nx = out.shape
+        K = stacked.shape[0]
+        for i in numba.prange(nz):
+            for j in range(ny):
+                for k in range(nx):
+                    acc = out[i, j, k]  # pre-zeroed: typed accumulator
+                    for m in range(K):
+                        acc = acc + weights[m] * stacked[m, i, j, k]
+                    if has_center:
+                        acc = acc + cw * center[i, j, k]
+                    out[i, j, k] = acc
+
+    @numba.njit(parallel=True, fastmath=False)
+    def _fused_padded(src, dst, offsets, weights, cw, has_center,
+                      z0, z1, y0, y1, x0, x1):
+        """Padded-pair sweep: direct offset reads, no gather arrays."""
+        K = offsets.shape[0]
+        for i in numba.prange(z1 - z0):
+            z = z0 + i
+            for y in range(y0, y1):
+                for x in range(x0, x1):
+                    acc = dst[1 + z, 1 + y, 1 + x]  # pre-zeroed: typed
+                    for m in range(K):
+                        acc = acc + weights[m] * src[
+                            1 + z + offsets[m, 0],
+                            1 + y + offsets[m, 1],
+                            1 + x + offsets[m, 2]]
+                    if has_center:
+                        acc = acc + cw * src[1 + z, 1 + y, 1 + x]
+                    dst[1 + z, 1 + y, 1 + x] = acc
+
+
+class NumbaEngine(Engine):
+    """Compiled parallel fused-multiply-add loops (optional dependency)."""
+
+    name = "numba"
+    semantics = "vector-v1"
+    jit = True
+    requires = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:  # defensive: registration is already gated
+            raise RuntimeError("numba is not installed")
+
+    def apply(self, stencil, storage, region, level: int) -> None:
+        if region.is_empty:
+            return
+        dtype = storage.grid.dtype
+        terms = nonzero_terms(stencil)
+        cw = stencil.center_weight
+        center = storage.read(region, level - 1)
+        if not terms and cw == 0.0:
+            storage.write(region, level,
+                          np.zeros(region.shape, dtype=dtype))
+            return
+        if terms:
+            stacked = np.stack([np.asarray(
+                storage.gather(region, off, level - 1)) for off, _ in terms])
+        else:
+            stacked = np.zeros((0,) + region.shape, dtype=dtype)
+        weights = np.asarray([w for _, w in terms], dtype=dtype)
+        out = np.zeros(region.shape, dtype=dtype)
+        _fused_terms(out, stacked, weights,
+                     np.ascontiguousarray(center), dtype.type(cw),
+                     cw != 0.0)
+        storage.write(region, level, out)
+
+    def apply_padded(self, stencil, src: np.ndarray, dst: np.ndarray,
+                     lo: Sequence[int], hi: Sequence[int]) -> None:
+        z0, y0, x0 = lo
+        z1, y1, x1 = hi
+        if z1 <= z0 or y1 <= y0 or x1 <= x0:
+            return
+        dtype = dst.dtype
+        terms = nonzero_terms(stencil)
+        cw = stencil.center_weight
+        if not terms and cw == 0.0:
+            dst[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1] = 0
+            return
+        offsets = np.asarray([off for off, _ in terms] or
+                             np.zeros((0, 3)), dtype=np.int64).reshape(-1, 3)
+        weights = np.asarray([w for _, w in terms], dtype=dtype)
+        # Zero the target region first: the typed accumulator reads it.
+        dst[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1] = 0
+        _fused_padded(src, dst, offsets, weights, dtype.type(cw),
+                      cw != 0.0, z0, z1, y0, y1, x0, x1)

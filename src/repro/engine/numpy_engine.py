@@ -1,0 +1,67 @@
+"""The default engine: one vectorised NumPy gather per region.
+
+This is the execution strategy the repo grew up with, extracted from
+``core.executor._apply_update`` and ``kernels.reference``: gather the
+centre and every (nonzero-weight) neighbour plane for the whole region,
+evaluate the stencil as a sequence of vectorised multiply-adds in
+canonical offset order, commit the result in one write.  It is the
+reference point of the engine layer — every other engine must be
+bit-identical to it — and the default of :class:`PipelineConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Engine, nonzero_terms
+
+__all__ = ["NumpyEngine", "accumulate_padded"]
+
+
+def accumulate_padded(stencil, src: np.ndarray, lo: Sequence[int],
+                      hi: Sequence[int]) -> np.ndarray:
+    """Stencil values for interior cells ``[lo, hi)`` of a padded array.
+
+    The shared building block of the padded-pair engines: one vectorised
+    multiply-add per nonzero-weight offset, accumulated in canonical
+    order — the exact per-cell operation sequence of
+    :meth:`StarStencil.apply`, so any traversal built from this helper
+    is bit-identical to the plain gather.
+    """
+    z0, y0, x0 = lo
+    z1, y1, x1 = hi
+    c = src[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1]
+    acc = np.zeros_like(c)
+    for (dz, dy, dx), w in nonzero_terms(stencil):
+        acc += w * src[1 + z0 + dz:1 + z1 + dz,
+                       1 + y0 + dy:1 + y1 + dy,
+                       1 + x0 + dx:1 + x1 + dx]
+    if stencil.center_weight != 0.0:
+        acc += stencil.center_weight * c
+    return acc
+
+
+class NumpyEngine(Engine):
+    """Whole-region vectorised gather (the extracted historical default)."""
+
+    name = "numpy"
+    semantics = "vector-v1"
+
+    def apply(self, stencil, storage, region, level: int) -> None:
+        if region.is_empty:
+            return
+        center = storage.read(region, level - 1)
+        neighbors = [storage.gather(region, off, level - 1)
+                     for off in stencil.offsets]
+        storage.write(region, level, stencil.apply(center, neighbors))
+
+    def apply_padded(self, stencil, src: np.ndarray, dst: np.ndarray,
+                     lo: Sequence[int], hi: Sequence[int]) -> None:
+        z0, y0, x0 = lo
+        z1, y1, x1 = hi
+        if z1 <= z0 or y1 <= y0 or x1 <= x0:
+            return
+        dst[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1] = \
+            accumulate_padded(stencil, src, lo, hi)

@@ -6,10 +6,13 @@ Eq. 1 of the paper::
                       + A[i,j+1,k] + A[i,j,k-1] + A[i,j,k+1])
 
 This module provides ready-made :class:`~repro.kernels.stencils.StarStencil`
-instances plus the plain vectorised sweep used by the reference solver and
-the host micro-benchmarks.  The sweep includes the optional spatial blocking
-of the baseline code (Sect. 1.1) — pure traversal reordering that never
-changes results, which the tests assert.
+instances plus the full-array sweeps used by the reference solver and the
+host micro-benchmarks.  Since PR 5 the sweeps *dispatch through the
+engine registry* (:mod:`repro.engine`): ``jacobi_sweep_padded`` runs any
+registered engine over the padded pair (default ``"numpy"``, the
+historical vectorised gather) and ``jacobi_sweep_blocked`` is the blocked
+engine with an explicit tile — pure traversal reordering that never
+changes results, which the tests assert bit-for-bit.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import BlockedEngine, get_engine
 from ..grid.region import Box
 from .stencils import StarStencil
 
@@ -81,30 +85,24 @@ def anisotropic_jacobi(wz: float, wy: float, wx: float) -> StarStencil:
 
 
 def jacobi_sweep_padded(src: np.ndarray, dst: Optional[np.ndarray] = None,
-                        stencil: Optional[StarStencil] = None) -> np.ndarray:
+                        stencil: Optional[StarStencil] = None,
+                        engine: str = "numpy") -> np.ndarray:
     """One full sweep over the interior of a *padded* array.
 
     ``src`` has ghost cells (shape ``interior + 2`` per dim); the interior
     of ``dst`` receives the updated values while ghost cells are copied
     through unchanged.  This is the memory-bandwidth-shaped kernel that the
-    host micro-benchmark (experiment E10) times.
+    host micro-benchmark (experiment E10) times.  ``engine`` picks the
+    execution engine from the :mod:`repro.engine` registry; every engine
+    produces bit-identical results.
     """
     st = stencil or jacobi7()
     if dst is None:
         dst = src.copy()
     else:
         np.copyto(dst, src)
-    c = src[1:-1, 1:-1, 1:-1]
-    acc = np.zeros_like(c)
-    for (dz, dy, dx) in st.offsets:
-        w = st.weights[(dz, dy, dx)]
-        sl = (slice(1 + dz, src.shape[0] - 1 + dz),
-              slice(1 + dy, src.shape[1] - 1 + dy),
-              slice(1 + dx, src.shape[2] - 1 + dx))
-        acc += w * src[sl]
-    if st.center_weight != 0.0:
-        acc += st.center_weight * c
-    dst[1:-1, 1:-1, 1:-1] = acc
+    interior = tuple(s - 2 for s in src.shape)
+    get_engine(engine).apply_padded(st, src, dst, (0, 0, 0), interior)
     return dst
 
 
@@ -114,26 +112,14 @@ def jacobi_sweep_blocked(src: np.ndarray, dst: np.ndarray,
     """Spatially blocked sweep over a padded array (baseline, Sect. 1.1).
 
     Traverses the interior in blocks of ``block`` cells (the paper's
-    standard code used ≈ 600×20×20 with a long inner loop).  Spatial
-    blocking only reorders the traversal; the result is identical to
+    standard code used ≈ 600×20×20 with a long inner loop) — i.e. the
+    ``blocked`` engine with an explicit tile.  Spatial blocking only
+    reorders the traversal; the result is identical to
     :func:`jacobi_sweep_padded`, which the test-suite verifies.
     """
     st = stencil or jacobi7()
-    nz, ny, nx = (s - 2 for s in src.shape)
     np.copyto(dst, src)
-    bz, by, bx = (max(1, int(b)) for b in block)
-    for z0 in range(0, nz, bz):
-        for y0 in range(0, ny, by):
-            for x0 in range(0, nx, bx):
-                z1, y1, x1 = min(z0 + bz, nz), min(y0 + by, ny), min(x0 + bx, nx)
-                c = src[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1]
-                acc = np.zeros_like(c)
-                for (dz, dy, dx) in st.offsets:
-                    w = st.weights[(dz, dy, dx)]
-                    acc += w * src[1 + z0 + dz:1 + z1 + dz,
-                                   1 + y0 + dy:1 + y1 + dy,
-                                   1 + x0 + dx:1 + x1 + dx]
-                if st.center_weight != 0.0:
-                    acc += st.center_weight * c
-                dst[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1] = acc
+    interior = tuple(s - 2 for s in src.shape)
+    tile = tuple(max(1, int(b)) for b in block)
+    BlockedEngine(tile).apply_padded(st, src, dst, (0, 0, 0), interior)
     return dst

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..engine import get_engine
 from ..grid.grid3d import Grid3D
 from .jacobi import jacobi7, jacobi_sweep_padded
 from .stencils import StarStencil
@@ -21,12 +22,16 @@ __all__ = ["reference_sweeps", "reference_sweep_region"]
 
 
 def reference_sweeps(grid: Grid3D, field: np.ndarray, sweeps: int,
-                     stencil: Optional[StarStencil] = None) -> np.ndarray:
+                     stencil: Optional[StarStencil] = None,
+                     engine: str = "numpy") -> np.ndarray:
     """Apply ``sweeps`` full Jacobi sweeps to an interior field.
 
     Each sweep reads the previous time level everywhere (classic two-array
     Jacobi); the Dirichlet ring of ``grid`` supplies out-of-domain values.
-    Returns a new interior array; the input is left untouched.
+    Returns a new interior array; the input is left untouched.  The
+    default ``engine="numpy"`` keeps the ground truth on the most
+    transparent execution path; other engines are accepted so the
+    differential tests can cross-check the engines against each other.
     """
     st = stencil or jacobi7()
     if sweeps < 0:
@@ -34,33 +39,23 @@ def reference_sweeps(grid: Grid3D, field: np.ndarray, sweeps: int,
     cur = grid.padded(field)
     nxt = cur.copy()
     for _ in range(sweeps):
-        jacobi_sweep_padded(cur, nxt, st)
+        jacobi_sweep_padded(cur, nxt, st, engine=engine)
         cur, nxt = nxt, cur
     return cur[1:-1, 1:-1, 1:-1].copy()
 
 
 def reference_sweep_region(padded_src: np.ndarray, padded_dst: np.ndarray,
-                           lo, hi, stencil: Optional[StarStencil] = None) -> None:
+                           lo, hi, stencil: Optional[StarStencil] = None,
+                           engine: str = "numpy") -> None:
     """One sweep restricted to interior cells ``[lo, hi)`` of a padded pair.
 
     Cells outside the region keep their previous-level values in
     ``padded_dst``.  This is the building block of the *distributed*
     reference: in the multi-halo scheme update ``s`` covers a region that
     is ``h - s`` layers larger than the subdomain core (Sect. 2.1), i.e. a
-    shrinking sequence of such regional sweeps.
+    shrinking sequence of such regional sweeps.  Dispatches through the
+    :mod:`repro.engine` registry, so the distributed sweeps inherit the
+    engine choice.
     """
     st = stencil or jacobi7()
-    z0, y0, x0 = lo
-    z1, y1, x1 = hi
-    if z1 <= z0 or y1 <= y0 or x1 <= x0:
-        return
-    c = padded_src[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1]
-    acc = np.zeros_like(c)
-    for (dz, dy, dx) in st.offsets:
-        w = st.weights[(dz, dy, dx)]
-        acc += w * padded_src[1 + z0 + dz:1 + z1 + dz,
-                              1 + y0 + dy:1 + y1 + dy,
-                              1 + x0 + dx:1 + x1 + dx]
-    if st.center_weight != 0.0:
-        acc += st.center_weight * c
-    padded_dst[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1] = acc
+    get_engine(engine).apply_padded(st, padded_src, padded_dst, lo, hi)

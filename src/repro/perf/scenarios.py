@@ -1,4 +1,4 @@
-"""Declarative scenario registry: kernel × size × backend × pipeline.
+"""Declarative scenario registry: kernel × size × backend × engine × pipeline.
 
 A :class:`Scenario` names one reproducible measurement — a figure
 regeneration through the calibrated DES, a real-NumPy kernel timing, or
@@ -515,6 +515,53 @@ def _register_solvers() -> None:
             description="Distributed hybrid solve on real multiprocess "
                         "ranks (shared-memory halos)",
         ))
+
+        # The engine axis (E13): the same solver problems executed
+        # through the non-default kernel-execution engines.  Results
+        # are bit-identical to the numpy-engine scenarios above (the
+        # engine differential battery pins that), so every gated
+        # metric — the communication counters — must match its
+        # numpy-engine sibling exactly; only the host-clock throughput
+        # moves.  The optional numba engine registers its scenario
+        # only where numba is installed, so a clean environment's
+        # registry (and the checked-in baseline) never depends on it.
+        engine_points = [
+            ("blocked", "shared", "twogrid"),
+            ("inplace", "shared", "compressed"),
+            ("blocked", "simmpi", "twogrid"),
+            ("inplace", "procmpi", "twogrid"),
+        ]
+        import importlib.util
+        if importlib.util.find_spec("numba") is not None:
+            engine_points.append(("numba", "shared", "twogrid"))
+        for engine_, backend_, storage_ in engine_points:
+
+            def solve_engine(_suite=suite, _engine=engine_,
+                             _backend=backend_, _storage=storage_):
+                from dataclasses import replace
+
+                from ..api import solve
+                from ..core.pipeline import run_pipelined
+                grid, field_, cfg, topo_ = _solver_problem(_suite)
+                cfg = replace(cfg, engine=_engine, storage=_storage)
+                if _backend == "shared":
+                    return run_pipelined(grid, field_, cfg, validate=False)
+                return solve(grid, field_, cfg, topology=topo_,
+                             backend=_backend)
+
+            register(Scenario(
+                name=f"solve_{backend_}_{engine_}@{suite}",
+                kind="solver",
+                suites=(suite,),
+                fn=solve_engine,
+                summarize=_sum_solve,
+                params={**base_params, "backend": backend_,
+                        "engine": engine_, "storage": storage_,
+                        **({"topology": topo}
+                           if backend_ != "shared" else {})},
+                description=f"Functional solve through the {engine_!r} "
+                            f"execution engine on the {backend_} backend",
+            ))
 
 
 # --------------------------------------------------------------------------

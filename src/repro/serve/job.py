@@ -20,6 +20,11 @@ determines the *bits* of the result field:
   any topology ``simmpi``/``procmpi`` are bit-identical to each other
   (the differential battery of ``tests/test_backend_equivalence`` pins
   both), so jobs differing only in transport share one cache entry,
+* the **engine semantics class**, not the engine name, for the same
+  reason: every engine of one class is bit-identical (pinned by
+  ``tests/test_engine_equivalence``), so jobs differing only in
+  ``config.engine`` share one cache entry — ``config.engine`` is
+  deliberately excluded from the canonical config encoding,
 * a code-version tag (``repro.__version__`` plus a key-schema number),
   so a cache directory can never serve results across releases.
 
@@ -45,8 +50,9 @@ from ..kernels.stencils import StarStencil
 __all__ = ["KEY_SCHEMA", "SolveJob"]
 
 #: Bump when the canonical encoding below changes meaning: old cache
-#: entries must never satisfy new keys.
-KEY_SCHEMA = 1
+#: entries must never satisfy new keys.  2: the engine-semantics part
+#: joined the key (PR 5).
+KEY_SCHEMA = 2
 
 Coord = Tuple[int, int, int]
 
@@ -64,6 +70,9 @@ def _canon_sync(sync) -> str:
 
 
 def _canon_config(cfg: PipelineConfig) -> str:
+    # ``cfg.engine`` is intentionally absent: the engine enters the key
+    # through its *semantics class* (see ``content_key``), so engines
+    # that are bit-identical share cache entries.
     return ";".join([
         f"teams={cfg.teams}",
         f"t={cfg.threads_per_team}",
@@ -180,6 +189,18 @@ class SolveJob:
             return "single"
         return f"dist:{self.topology[0]}x{self.topology[1]}x{self.topology[2]}"
 
+    def engine_semantics(self) -> str:
+        """The engine *semantics class* entering the content key.
+
+        Engines of one class are bit-identical on every kernel, storage
+        and backend (the engine differential battery pins this), so the
+        class — never the engine name — keys the cache.  Like
+        :meth:`content_key`, only meaningful on resolved jobs.
+        """
+        from ..engine import engine_semantics
+
+        return engine_semantics(self.config.engine)
+
     def content_key(self) -> str:
         """Deterministic SHA-256 hex digest of everything result-affecting.
 
@@ -208,6 +229,7 @@ class SolveJob:
             f"config:{_canon_config(self.config)}",
             f"stencil:{_canon_stencil(st)}",
             f"semantics:{self.semantics()}",
+            f"engine:{self.engine_semantics()}",
         ]
         h.update("\n".join(parts).encode())
         h.update(b"\nfield:")

@@ -186,12 +186,23 @@ class Service:
                topology: Optional[Sequence[int]] = None,
                backend: str = "shared",
                stencil: Optional[StarStencil] = None,
-               priority: int = 0) -> SolveFuture:
+               priority: int = 0,
+               engine: Optional[str] = None) -> SolveFuture:
         """Queue one solve; mirrors :func:`repro.solve` plus ``priority``.
 
         Pass ``config="auto"`` to let the service pick the pipeline
         parameters (deterministic autotuner sweep on the machine model).
+        ``engine`` overrides ``config.engine`` (concrete configs only);
+        engines of one semantics class share cache entries, so an
+        engine change alone never forces a recompute.
         """
+        if engine is not None:
+            if not isinstance(config, PipelineConfig):
+                raise ValueError(
+                    "engine cannot be combined with config='auto'; the "
+                    "autotuner resolves the full configuration")
+            if engine != config.engine:
+                config = replace(config, engine=engine)
         job = SolveJob(grid=grid, field=field, config=config,
                        topology=(tuple(int(p) for p in topology)
                                  if topology is not None else (1, 1, 1)),

@@ -52,3 +52,10 @@ def test_serving():
     out = run_example("serving.py")
     assert "cache hit: bit-identical result" in out
     assert "rank processes spawned" in out
+
+
+@pytest.mark.slow
+def test_engines():
+    out = run_example("engines.py")
+    assert "bit-identical ✓" in out
+    assert "pure cache hit" in out

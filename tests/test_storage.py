@@ -169,6 +169,50 @@ class TestCompressed:
             CompressedStorage(grid, f, (2, 0, 0), 2)
 
 
+class TestWriteView:
+    """The in-place engine's entry point: view out, fill, commit."""
+
+    def test_twogrid_view_targets_the_other_array(self):
+        grid, field, st = make_twogrid()
+        view = st.write_view(grid.domain, 1)
+        view[...] = 2.5
+        st.commit_write(grid.domain, 1)
+        np.testing.assert_array_equal(st.extract(1),
+                                      np.full(grid.shape, 2.5))
+        # The level-0 array was never touched.
+        np.testing.assert_array_equal(st._arrays[0], field)
+
+    def test_twogrid_view_validates_previous_level(self):
+        grid, field, st = make_twogrid()
+        with pytest.raises(StorageError):
+            st.write_view(grid.domain, 2)
+        with pytest.raises(StorageError):
+            st.write_view(Box((0, 0, 0), (7, 5, 5)), 1)
+
+    def test_compressed_view_is_shifted_and_commit_tracks_positions(self):
+        grid = Grid3D((8, 5, 5))
+        field = random_field(grid.shape, RNG)
+        st = CompressedStorage(grid, field, (1, 0, 0), 4)
+        region = Box((0, 0, 0), (8, 5, 5))
+        view = st.write_view(region, 1)
+        assert view.shape == region.shape
+        view[...] = 3.0
+        st.commit_write(region, 1)
+        np.testing.assert_array_equal(st.extract(1),
+                                      np.full(grid.shape, 3.0))
+        # Positions shifted by -1 along z now carry level 1.
+        assert bool(np.all(st._pos_level[3:11] == 1))
+
+    def test_compressed_uncommitted_view_is_not_readable(self):
+        grid = Grid3D((8, 5, 5))
+        st = CompressedStorage(grid, random_field(grid.shape, RNG),
+                               (1, 0, 0), 4)
+        view = st.write_view(grid.domain, 1)
+        view[...] = 1.0  # filled but never committed
+        with pytest.raises(StorageError):
+            st.extract(1)
+
+
 class TestFactory:
     def test_make_twogrid(self):
         grid = Grid3D((4, 4, 4))
