@@ -69,7 +69,7 @@ from .api import BACKENDS, map_jobs, solve, submit
 #: serving layer lazily, at call time).
 map = map_jobs
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Symbols re-exported from the distributed rail.  Resolved lazily (PEP
 #: 562) so that `import repro` — and with it the shared-memory rail and
@@ -108,8 +108,21 @@ _SERVE_EXPORTS = frozenset({
 })
 _AUTOTUNE_EXPORTS = frozenset({"TuneResult", "autotune"})
 
+#: Symbols re-exported from the static analyzer (lazy: nothing on the
+#: execution path needs it unless ``validate="static"`` is requested).
+_ANALYSIS_EXPORTS = frozenset({
+    "ScheduleSpec",
+    "StaticAnalysisError",
+    "analyze_schedule",
+    "assert_legal",
+})
+
 
 def __getattr__(name: str):
+    if name in _ANALYSIS_EXPORTS:
+        from . import analysis
+
+        return getattr(analysis, name)
     if name in _DIST_EXPORTS:
         from . import dist
 
@@ -127,7 +140,7 @@ def __getattr__(name: str):
 
 def __dir__():
     return sorted(set(globals()) | _DIST_EXPORTS | _SERVE_EXPORTS
-                  | _AUTOTUNE_EXPORTS)
+                  | _AUTOTUNE_EXPORTS | _ANALYSIS_EXPORTS)
 
 __all__ = [
     "Engine",
@@ -182,5 +195,9 @@ __all__ = [
     "map_jobs",
     "TuneResult",
     "autotune",
+    "ScheduleSpec",
+    "StaticAnalysisError",
+    "analyze_schedule",
+    "assert_legal",
     "__version__",
 ]

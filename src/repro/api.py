@@ -72,6 +72,7 @@ def solve(
     backend: str = "shared",
     stencil: Optional[StarStencil] = None,
     engine: Optional[str] = None,
+    validate: Union[bool, str] = True,
 ) -> SolveResult:
     """Advance ``field`` by ``config.total_updates`` levels on ``backend``.
 
@@ -93,6 +94,14 @@ def solve(
         overrides ``config.engine``.  Engines are bit-identical, so
         this changes throughput, never the result — every backend
         dispatches the same engine registry per rank.
+    validate:
+        ``True`` (default) keeps the runtime coverage checks of the
+        executor.  ``"static"`` first certifies the schedule with the
+        :mod:`repro.analysis` happens-before checker — raising
+        :class:`~repro.analysis.StaticAnalysisError` with a witness on
+        an illegal schedule — and then runs with the per-pass runtime
+        checks switched off (the proof replaces the assertions).
+        ``False`` skips both.
 
     Returns
     -------
@@ -106,18 +115,31 @@ def solve(
     if engine is not None and engine != config.engine:
         config = replace(config, engine=engine)
     topo = _check_topology(topology)
+    if validate not in (True, False, "static"):
+        raise ValueError(
+            f"validate must be True, False or 'static', got {validate!r}")
+    runtime_validate = bool(validate) and validate != "static"
+    if validate == "static":
+        # Prove the schedule race/deadlock-free before touching the
+        # field; the executor's runtime checks are then redundant.
+        from .analysis import assert_legal
+
+        radius = stencil.radius if stencil is not None else 1
+        assert_legal(config, grid.shape, topo, radius=radius)
     if backend == "shared":
         if topo != (1, 1, 1):
             raise ValueError(
                 f"the shared backend is single-process; topology {topo} "
                 "needs backend='simmpi' or 'procmpi'")
-        return run_pipelined(grid, field, config, stencil=stencil)
+        return run_pipelined(grid, field, config, stencil=stencil,
+                             validate=runtime_validate)
     # Imported lazily, mirroring the top-level re-exports: the shared
     # backend must work even where the distributed rail is unavailable.
     from .dist.solver import distributed_jacobi_pipelined
 
     return distributed_jacobi_pipelined(grid, field, topo, config,
-                                        stencil=stencil, transport=backend)
+                                        stencil=stencil, transport=backend,
+                                        validate=runtime_validate)
 
 
 def submit(grid: Grid3D, field: np.ndarray,

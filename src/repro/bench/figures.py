@@ -15,7 +15,6 @@ above ~250^3, which ``tests/test_sim_pipeline.py`` asserts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.parameters import BarrierSpec, PipelineConfig, RelaxedSpec, SyncSpec

@@ -10,7 +10,7 @@ evaluated on the calibrated machine simulator, returning a ranked table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..machine.topology import MachineSpec
 from .parameters import PipelineConfig, RelaxedSpec
@@ -43,6 +43,7 @@ def autotune(
     engines: Sequence[str] = ("numpy",),
     seed: int = 0,
     top: Optional[int] = None,
+    prune_illegal: bool = True,
 ) -> List[TuneResult]:
     """Exhaustive sweep; returns results sorted best-first.
 
@@ -59,10 +60,22 @@ def autotune(
     ``solve_*`` perf scenarios instead.  Pass
     ``engines=repro.engine.available_engines()`` to enumerate every
     engine registered in this process.
+
+    With ``prune_illegal=True`` (the default) every candidate is first
+    run through the static schedule analyzer
+    (:func:`repro.analysis.quick_check`) and configurations it cannot
+    certify race- and deadlock-free are dropped *before* the DES run —
+    no simulator time is spent ranking schedules the executor could
+    never legally run.  The stock sweep axes are all legal, so this
+    changes nothing for the defaults; it matters when callers widen the
+    axes into the illegal corner of the space.
     """
     from ..sim.des_pipeline import simulate_pipelined  # late: avoid cycle
 
     from dataclasses import replace as _replace
+
+    if prune_illegal:
+        from ..analysis import quick_check  # late: avoid cycle
 
     results: List[TuneResult] = []
     for storage in storages:
@@ -78,6 +91,9 @@ def autotune(
                             sync=RelaxedSpec(1, du),
                             storage=storage,
                         )
+                        if prune_illegal and not quick_check(
+                                cfg, tuple(int(s) for s in shape)):
+                            continue
                         # One DES run covers every engine: engines are
                         # bit-identical traversal variants the machine
                         # model does not distinguish, so the simulated

@@ -28,7 +28,7 @@ from ..grid.region import Box
 from ..kernels.stencils import StarStencil
 from .parameters import PipelineConfig
 from .schedule import make_decomposition
-from .storage import CompressedStorage, TwoGridStorage, make_storage
+from .storage import CompressedStorage, make_storage
 from .sync import make_policy
 
 __all__ = ["ScheduleDeadlock", "ExecutionStats", "PipelineExecutor", "ORDERS"]

@@ -16,7 +16,7 @@ captured here as explicit dataclasses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple, Union
+from typing import Tuple, Union
 
 __all__ = ["BarrierSpec", "RelaxedSpec", "SyncSpec", "PipelineConfig"]
 

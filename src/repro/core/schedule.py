@@ -16,7 +16,7 @@ to fail fast on inconsistent configurations.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 

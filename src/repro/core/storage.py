@@ -24,7 +24,7 @@ Dirichlet boundary values, replacing ghost-cell copies (see
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

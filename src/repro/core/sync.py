@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import List, Protocol, Sequence
 
-from .parameters import BarrierSpec, PipelineConfig, RelaxedSpec, SyncSpec
+from .parameters import BarrierSpec, PipelineConfig, RelaxedSpec
 
 __all__ = ["SyncPolicy", "BarrierPolicy", "RelaxedPolicy", "make_policy"]
 

@@ -16,7 +16,6 @@ shared-cache traffic proportional to the block's surface layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from ..machine.topology import MachineSpec

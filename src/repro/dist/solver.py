@@ -49,7 +49,7 @@ from ..kernels.jacobi import jacobi7
 from ..kernels.reference import reference_sweep_region
 from ..kernels.stencils import StarStencil
 from .comm import Comm
-from .decomp import CartesianDecomposition, RankGeometry
+from .decomp import CartesianDecomposition
 from .exchange import ExchangeEntry, exchange_plan
 from .procmpi import ProcMPIError, ProcWorld
 from .shm import ShmArrayHandle, ShmPool, attach_array

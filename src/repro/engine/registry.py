@@ -11,7 +11,7 @@ naming the missing dependency instead of a bare ``KeyError``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from .base import Engine
 

@@ -17,12 +17,11 @@ changes results, which the tests assert bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..engine import BlockedEngine, get_engine
-from ..grid.region import Box
 from .stencils import StarStencil
 
 __all__ = [

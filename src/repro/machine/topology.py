@@ -13,8 +13,8 @@ All bandwidths are in bytes/second, times in seconds, sizes in bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 __all__ = ["CacheLevel", "MachineSpec", "GB", "MB", "KB", "US"]
 

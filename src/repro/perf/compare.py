@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..bench.reporting import format_table
-from .schema import Metric, RunRecord
+from .schema import RunRecord
 from .store import records_of
 
 __all__ = [

@@ -14,7 +14,7 @@ import platform
 import subprocess
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from .scenarios import Scenario, select_scenarios
 from .schema import RunRecord, WallStats

@@ -403,6 +403,44 @@ def _solver_problem(suite: str):
     return grid, field_, cfg, topo
 
 
+def solver_schedules(suite: str):
+    """Every distinct schedule the ``suite``'s solver scenarios run.
+
+    Yields ``(name, shape, config, topology)`` for the static analyzer
+    (``python -m repro.analysis check-schedule --suite quick``): the
+    shared/simmpi/procmpi base schedules, every engine-axis variant,
+    and the serving-layer problem — so "the analyzer certifies every
+    registered perf scenario" is a checkable statement, not a slogan.
+    """
+    from dataclasses import replace
+
+    if suite not in SOLVER_SIZES:
+        raise ValueError(
+            f"unknown suite {suite!r}; choose from {sorted(SOLVER_SIZES)}")
+    n, teams, tpt, T, block, topo = SOLVER_SIZES[suite]
+    shape = (n, n, n)
+    _, _, cfg, _ = _solver_problem(suite)
+    yield f"solve_shared@{suite}", shape, cfg, (1, 1, 1)
+    yield f"solve_simmpi@{suite}", shape, cfg, topo
+    yield f"solve_procmpi@{suite}", shape, cfg, topo
+    engine_points = [
+        ("blocked", "shared", "twogrid"),
+        ("inplace", "shared", "compressed"),
+        ("blocked", "simmpi", "twogrid"),
+        ("inplace", "procmpi", "twogrid"),
+    ]
+    import importlib.util
+    if importlib.util.find_spec("numba") is not None:
+        engine_points.append(("numba", "shared", "twogrid"))
+    for engine_, backend_, storage_ in engine_points:
+        ecfg = replace(cfg, engine=engine_, storage=storage_)
+        etopo = (1, 1, 1) if backend_ == "shared" else topo
+        yield f"solve_{backend_}_{engine_}@{suite}", shape, ecfg, etopo
+    sn, stopo, _jobs = SERVE_SIZES[suite]
+    sgrid, scfg = _serve_problem(sn)
+    yield f"serve@{suite}", sgrid.shape, scfg, stopo
+
+
 def _register_kernels() -> None:
     for suite in SUITES:
         n = KERNEL_SIZES[suite]

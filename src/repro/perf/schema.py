@@ -41,7 +41,7 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
 __all__ = ["SCHEMA", "Metric", "WallStats", "RunRecord", "SchemaError"]
 

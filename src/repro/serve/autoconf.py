@@ -61,8 +61,19 @@ def _default_machine() -> MachineSpec:
 
 def _valid(cfg: PipelineConfig, grid: Grid3D,
            topology: Tuple[int, int, int]) -> bool:
-    """Whether ``cfg`` can actually run this job (fail-fast dry checks)."""
+    """Whether ``cfg`` can actually run this job (fail-fast dry checks).
+
+    Beyond the geometric dry-run (can the decomposition and the pass
+    plan even be built?), every candidate must be *certified* by the
+    static schedule analyzer: auto-configured jobs never hand the
+    worker pool a schedule whose race/deadlock freedom has not been
+    proven.
+    """
+    from ..analysis import quick_check  # late: keeps serve import-light
+
     try:
+        if not quick_check(cfg, grid.shape, tuple(topology)):
+            return False
         if topology == (1, 1, 1):
             plan(grid, cfg)
             return True

@@ -8,7 +8,7 @@ the tens of thousands of block operations a full Fig. 3 run schedules.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 __all__ = ["Event", "Engine"]
 

@@ -16,7 +16,7 @@ link.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from .engine import Engine, Event
 

@@ -1,0 +1,389 @@
+"""The static analyzer: adversarial schedules, certification, lint.
+
+Three layers of evidence that the analyzer means what it says:
+
+* **Adversarial** — every known-illegal schedule family (empty window,
+  insufficient lead, sub-minimal halo, aliasing in-place traversal,
+  radius beyond the one-cell shift's budget) is rejected with a
+  concrete witness, and the near-miss legal neighbours of each are
+  certified — the analyzer discriminates, it does not just say no.
+* **Differential** — every schedule the analyzer certifies in the
+  quick perf suite actually solves bit-identically to the reference
+  sweep implementation: certification is sound on the cases we run.
+* **Lint** — each project rule fires on a minimal bad example and the
+  shipped tree has zero findings (pinned as a regression).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import (
+    Finding,
+    Report,
+    ScheduleSpec,
+    StaticAnalysisError,
+    analyze_schedule,
+    assert_legal,
+    lint_paths,
+    lint_source,
+    quick_check,
+)
+from repro.core.parameters import PipelineConfig, RelaxedSpec
+from repro.grid import Grid3D, random_field
+from repro.kernels import reference_sweeps
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+SHAPE = (32, 32, 32)
+BLOCK = (8, 64, 64)
+
+
+def spec(**kw):
+    base = dict(teams=1, threads_per_team=4, updates_per_thread=1,
+                block_size=BLOCK, sync_kind="relaxed", d_l=1, d_u=4)
+    base.update(kw)
+    return ScheduleSpec(**base)
+
+
+def errors_of(report, checker):
+    return [f for f in report.errors if f.checker == checker]
+
+
+# -- report plumbing ---------------------------------------------------------
+
+
+def test_finding_rejects_bad_severity():
+    with pytest.raises(ValueError, match="severity"):
+        Finding("x", "fatal", "loc", "msg")
+
+
+def test_report_ok_ignores_warnings():
+    r = Report(subject="s")
+    r.add("w", "warning", "loc", "msg")
+    assert r.ok and not r.errors
+    r.add("e", "error", "loc", "msg")
+    assert not r.ok
+    assert "REJECTED" in r.describe()
+
+
+# -- certification of legal schedules ----------------------------------------
+
+
+def test_certifies_paper_default_window():
+    report = analyze_schedule(spec(), SHAPE)
+    assert report.ok, report.describe()
+    assert any("explored" in n for n in report.notes)
+
+
+def test_certifies_barrier_and_teams():
+    assert analyze_schedule(spec(sync_kind="barrier"), SHAPE).ok
+    assert analyze_schedule(
+        spec(teams=2, threads_per_team=2, updates_per_thread=2,
+             team_delay=1), SHAPE).ok
+
+
+def test_certifies_compressed_inplace():
+    report = analyze_schedule(
+        spec(storage="compressed", engine="inplace"), SHAPE)
+    assert report.ok, report.describe()
+
+
+def test_drain_waiver_precision():
+    # d_u = d_l - 1: RelaxedSpec refuses to construct this window, but
+    # the automaton proves it actually drains (the finished-predecessor
+    # waiver unblocks the tail) — the analyzer is *more* precise than
+    # the constructor guard, not a mirror of it.
+    report = analyze_schedule(spec(d_l=2, d_u=1), SHAPE)
+    assert report.ok, report.describe()
+
+
+# -- adversarial: hazard windows ---------------------------------------------
+
+
+def test_d_l_zero_yields_raw_witness():
+    report = analyze_schedule(spec(d_l=0), SHAPE)
+    raw = errors_of(report, "raw-hazard")
+    assert raw, report.describe()
+    assert "witness interleaving" in raw[0].witness
+    assert "required lead" in raw[0].witness
+
+
+def test_empty_window_deadlocks_with_witness():
+    report = analyze_schedule(spec(d_l=3, d_u=1), SHAPE)
+    dead = errors_of(report, "deadlock")
+    assert dead, report.describe()
+    assert "interleaving" in dead[0].witness
+
+
+def test_assert_legal_raises_with_report():
+    cfg = PipelineConfig(teams=1, threads_per_team=4,
+                         updates_per_thread=1, block_size=BLOCK,
+                         sync=RelaxedSpec(1, 4))
+    assert_legal(cfg, SHAPE)  # legal: no raise
+    with pytest.raises(StaticAnalysisError) as exc:
+        assert_legal(spec(d_l=0), SHAPE)
+    assert not exc.value.report.ok
+
+
+# -- adversarial: stencil radius vs the one-cell shift -----------------------
+
+
+def test_radius_two_needs_lead_two_on_twogrid():
+    assert not analyze_schedule(spec(radius=2), SHAPE).ok
+    assert analyze_schedule(spec(radius=2, d_l=2), SHAPE).ok
+
+
+def test_radius_two_structurally_illegal_on_compressed():
+    # No window fixes this: the same-stage WAR runs against program
+    # order, so the finding must not mention counters at all.
+    report = analyze_schedule(
+        spec(radius=2, d_l=4, d_u=8, storage="compressed"), SHAPE)
+    war = errors_of(report, "war-hazard")
+    assert war, report.describe()
+    assert "program order" in war[0].message
+
+
+# -- adversarial: in-place traversal direction -------------------------------
+
+
+def test_forced_descending_inplace_is_flagged():
+    report = analyze_schedule(
+        spec(storage="compressed", engine="inplace", inplace_step=-1),
+        SHAPE)
+    assert errors_of(report, "inplace-aliasing"), report.describe()
+
+
+def test_non_fused_engines_tolerate_either_direction():
+    report = analyze_schedule(
+        spec(storage="compressed", engine="numpy", inplace_step=-1),
+        SHAPE)
+    assert report.ok, report.describe()
+
+
+def test_unknown_engine_is_a_finding_not_a_crash():
+    report = analyze_schedule(spec(engine="nonesuch"), SHAPE)
+    assert errors_of(report, "engine-unknown"), report.describe()
+
+
+# -- adversarial: distributed geometry ---------------------------------------
+
+
+def test_subminimal_halo_rejected_with_trapezoid_witness():
+    s = spec(teams=2, threads_per_team=2, updates_per_thread=2)
+    assert s.updates_per_pass == 8
+    report = analyze_schedule(s, SHAPE, (2, 1, 1), halo=4)
+    assert errors_of(report, "halo-depth"), report.describe()
+    trap = errors_of(report, "trapezoid")
+    assert trap and "is read but never stored" in trap[0].witness
+
+
+def test_oversized_halo_is_a_warning_only():
+    s = spec(teams=2, threads_per_team=2, updates_per_thread=2)
+    report = analyze_schedule(s, SHAPE, (2, 1, 1), halo=10)
+    assert report.ok
+    assert any(f.checker == "halo-depth" and f.severity == "warning"
+               for f in report.findings)
+
+
+def test_compressed_storage_illegal_distributed():
+    report = analyze_schedule(
+        spec(storage="compressed"), SHAPE, (2, 1, 1))
+    assert errors_of(report, "dist-storage"), report.describe()
+
+
+def test_structural_config_errors_never_crash():
+    report = analyze_schedule(spec(teams=0), SHAPE)
+    assert errors_of(report, "config-error")
+    report = analyze_schedule(spec(block_size=(0, 1, 1)), SHAPE)
+    assert errors_of(report, "config-error")
+
+
+# -- differential: certified => bit-identical to reference -------------------
+
+
+def test_certified_quick_suite_solves_match_reference():
+    from repro.perf.scenarios import solver_schedules
+
+    for name, shape, cfg, topo in solver_schedules("quick"):
+        report = analyze_schedule(cfg, shape, topo)
+        assert report.ok, f"{name}: {report.describe()}"
+        grid = Grid3D(shape)
+        field = random_field(shape, np.random.default_rng(11))
+        backend = "simmpi" if topo != (1, 1, 1) else "shared"
+        got = repro.solve(grid, field, cfg, topology=topo,
+                          backend=backend, validate="static")
+        ref = reference_sweeps(grid, field, cfg.total_updates)
+        assert np.array_equal(got.field, ref), name
+
+
+def test_solve_validate_static_rejects_before_running():
+    grid = Grid3D((16, 16, 16))
+    field = random_field(grid.shape, np.random.default_rng(0))
+    cfg = PipelineConfig(teams=1, threads_per_team=2,
+                         updates_per_thread=1, block_size=(4, 64, 64),
+                         sync=RelaxedSpec(1, 2))
+    before = field.copy()
+    res = repro.solve(grid, field, cfg, validate="static")
+    assert res.field.shape == field.shape
+    assert np.array_equal(field, before)  # input untouched
+    with pytest.raises(ValueError, match="validate"):
+        repro.solve(grid, field, cfg, validate="sometimes")
+
+
+def test_autotune_prunes_illegal_candidates():
+    from repro.core.autotune import autotune
+    from repro.machine import nehalem_ep
+
+    machine = nehalem_ep()
+    legal = autotune(machine, shape=(60, 60, 60), bx_values=(60,),
+                     bz_values=(10,), T_values=(1,), du_values=(1, 2))
+    assert legal  # the stock axes survive the pre-prune
+    unpruned = autotune(machine, shape=(60, 60, 60), bx_values=(60,),
+                        bz_values=(10,), T_values=(1,), du_values=(1, 2),
+                        prune_illegal=False)
+    assert [r.config for r in legal] == [r.config for r in unpruned]
+
+
+def test_quick_check_boolean_face():
+    cfg = PipelineConfig(teams=1, threads_per_team=4,
+                         updates_per_thread=1, block_size=BLOCK,
+                         sync=RelaxedSpec(1, 4))
+    assert quick_check(cfg, SHAPE)
+    assert not quick_check(spec(d_l=0), SHAPE)
+
+
+# -- lint: each rule fires on a minimal bad example --------------------------
+
+
+def lint_findings(source, path="pkg/mod.py"):
+    return [f.checker for f in lint_source(path, source)]
+
+
+def test_lint_dead_import():
+    assert "dead-import" in lint_findings("import os\nx = 1\n")
+    assert "dead-import" not in lint_findings("import os\nprint(os.sep)\n")
+    # __all__ counts as use; __init__.py without __all__ is exempt.
+    assert "dead-import" not in lint_findings(
+        "from .m import thing\n__all__ = ['thing']\n")
+    assert "dead-import" not in lint_findings(
+        "from .m import thing\n", path="pkg/__init__.py")
+
+
+def test_lint_mutable_default():
+    assert "mutable-default" in lint_findings("def f(x=[]):\n    pass\n")
+    assert "mutable-default" in lint_findings(
+        "def f(*, x=dict()):\n    pass\n")
+    assert "mutable-default" not in lint_findings(
+        "def f(x=None):\n    pass\n")
+
+
+def test_lint_bare_except():
+    assert "bare-except" in lint_findings(
+        "try:\n    pass\nexcept:\n    pass\n")
+    assert "bare-except" not in lint_findings(
+        "try:\n    pass\nexcept ValueError:\n    pass\n")
+
+
+def test_lint_spawn_pickle():
+    assert "spawn-pickle" in lint_findings(
+        "run_procs(2, lambda rank: rank)\n")
+    nested = ("def outer():\n"
+              "    def entry(rank):\n"
+              "        return rank\n"
+              "    pool.run_job(entry, ())\n")
+    assert "spawn-pickle" in lint_findings(nested)
+    module_level = ("def entry(rank):\n"
+                    "    return rank\n"
+                    "def outer():\n"
+                    "    pool.run_job(entry, ())\n")
+    assert "spawn-pickle" not in lint_findings(module_level)
+
+
+def test_lint_shm_lifecycle():
+    assert "shm-lifecycle" in lint_findings(
+        "shm = SharedMemory(create=True, size=64)\n")
+    # attach (create absent/False) is fine anywhere
+    assert "shm-lifecycle" not in lint_findings(
+        "shm = SharedMemory(name='x')\n")
+    # the owning module itself is exempt
+    assert "shm-lifecycle" not in lint_findings(
+        "shm = SharedMemory(create=True, size=64)\n",
+        path="src/repro/dist/shm.py")
+    leak = "pool = ShmPool()\n"
+    assert "shm-lifecycle" in lint_findings(leak)
+    assert "shm-lifecycle" not in lint_findings(
+        leak + "pool.cleanup()\n")
+
+
+def test_lint_engine_contract():
+    no_semantics = ("class FastEngine(Engine):\n"
+                    "    name = 'fast'\n")
+    assert "engine-contract" in lint_findings(
+        no_semantics, path="src/repro/engine/fast.py")
+    assert "engine-contract" not in lint_findings(
+        no_semantics + "    semantics = JacobiSemantics\n",
+        path="src/repro/engine/fast.py")
+    # the rule is scoped to engine modules
+    assert "engine-contract" not in lint_findings(
+        no_semantics, path="src/repro/core/fast.py")
+    poke = "def run(storage):\n    return storage._dst\n"
+    assert "engine-contract" in lint_findings(
+        poke, path="src/repro/engine/fast.py")
+    uncommitted = ("def run(storage):\n"
+                   "    v = storage.write_view(box, 1)\n"
+                   "    v[:] = 0\n")
+    assert "engine-contract" in lint_findings(
+        uncommitted, path="src/repro/engine/fast.py")
+
+
+def test_lint_syntax_error_is_a_finding():
+    assert "syntax" in lint_findings("def broken(:\n")
+
+
+# -- the shipped tree is clean (regression pin) ------------------------------
+
+
+def test_src_tree_has_zero_lint_findings():
+    report = lint_paths([str(SRC)])
+    assert report.ok, report.describe()
+    assert not report.findings, report.describe()
+
+
+def test_shipped_engines_pass_contract_rule():
+    report = lint_paths([str(SRC / "engine")])
+    assert report.ok, report.describe()
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True,
+        cwd=str(REPO), env={"PYTHONPATH": str(REPO / "src"),
+                            "PATH": "/usr/bin:/bin"})
+
+
+def test_cli_certifies_quick_suite():
+    proc = run_cli("check-schedule", "--suite", "quick")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "8/8 schedule(s) certified" in proc.stdout
+
+
+def test_cli_rejects_illegal_flags():
+    proc = run_cli("check-schedule", "--d-l", "0", "--block", "8,64,64")
+    assert proc.returncode == 1
+    assert "REJECTED" in proc.stdout
+
+
+def test_cli_lint_clean_tree():
+    proc = run_cli("lint", "src/repro/analysis")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "CERTIFIED" in proc.stdout

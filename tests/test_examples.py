@@ -59,3 +59,12 @@ def test_engines():
     out = run_example("engines.py")
     assert "bit-identical ✓" in out
     assert "pure cache hit" in out
+
+
+@pytest.mark.slow
+def test_analysis():
+    out = run_example("analysis.py")
+    assert "paper default (4 stages, d_l=1, d_u=4): CERTIFIED" in out
+    assert "drain deadlock: REJECTED" in out
+    assert "witness interleaving" in out
+    assert "validate='static' solve bit-identical to reference: True" in out
