@@ -69,7 +69,7 @@ from .api import BACKENDS, map_jobs, solve, submit
 #: serving layer lazily, at call time).
 map = map_jobs
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Symbols re-exported from the distributed rail.  Resolved lazily (PEP
 #: 562) so that `import repro` — and with it the shared-memory rail and
@@ -117,12 +117,28 @@ _ANALYSIS_EXPORTS = frozenset({
     "assert_legal",
 })
 
+#: Symbols re-exported from the observability layer (lazy for symmetry;
+#: the hot-path pieces — ``Tracer``, ``NULL_TRACER`` — are imported
+#: directly by the rails that use them).
+_OBS_EXPORTS = frozenset({
+    "Trace",
+    "Tracer",
+    "load_chrome_trace",
+    "span_coverage",
+    "trace_metrics",
+    "write_chrome_trace",
+})
+
 
 def __getattr__(name: str):
     if name in _ANALYSIS_EXPORTS:
         from . import analysis
 
         return getattr(analysis, name)
+    if name in _OBS_EXPORTS:
+        from . import obs
+
+        return getattr(obs, name)
     if name in _DIST_EXPORTS:
         from . import dist
 
@@ -140,7 +156,7 @@ def __getattr__(name: str):
 
 def __dir__():
     return sorted(set(globals()) | _DIST_EXPORTS | _SERVE_EXPORTS
-                  | _AUTOTUNE_EXPORTS | _ANALYSIS_EXPORTS)
+                  | _AUTOTUNE_EXPORTS | _ANALYSIS_EXPORTS | _OBS_EXPORTS)
 
 __all__ = [
     "Engine",
@@ -199,5 +215,11 @@ __all__ = [
     "StaticAnalysisError",
     "analyze_schedule",
     "assert_legal",
+    "Trace",
+    "Tracer",
+    "trace_metrics",
+    "span_coverage",
+    "write_chrome_trace",
+    "load_chrome_trace",
     "__version__",
 ]

@@ -24,6 +24,10 @@ cannot know:
   subclass must declare ``name`` and ``semantics`` — the serve cache
   key depends on the semantics class, so an engine without one would
   poison content addressing.
+* **span-pairing** — observability spans (``tracer.span(...)``) must be
+  the context expression of a ``with`` statement (or sit inside a
+  ``try``/``finally``): a span entered any other way stays open when an
+  exception unwinds, corrupting every containing timeline.
 """
 
 from __future__ import annotations
@@ -313,6 +317,42 @@ def check_engine_contract(path: str, tree: ast.Module,
                    f"def {node.name}(...)")
 
 
+def check_span_pairing(path: str, tree: ast.Module,
+                       lines: Sequence[str]) -> Iterator[Issue]:
+    """Tracer spans must enter/exit in lockstep: ``with`` or try/finally.
+
+    A ``.span(...)`` call whose context manager is never exited (e.g.
+    assigned and entered manually) leaves the span open across an
+    exception, so every instrumented module must scope spans with a
+    ``with`` statement or inside a ``try`` body that has a ``finally``.
+    The :mod:`repro.obs` package itself (which builds and replays span
+    objects) is exempt.
+    """
+    p = Path(path)
+    if p.parent.name == "obs":
+        return
+    protected = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                protected.add(id(item.context_expr))
+        elif isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    protected.add(id(sub))
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in protected):
+            yield ("span-pairing", node.lineno,
+                   "span() call is not the context expression of a 'with' "
+                   "statement (nor inside try/finally): an exception would "
+                   "leave the span open",
+                   lines[node.lineno - 1].strip()
+                   if node.lineno <= len(lines) else "")
+
+
 #: The rule set, in report order.
 CHECKERS: Tuple[Checker, ...] = (
     check_dead_imports,
@@ -321,6 +361,7 @@ CHECKERS: Tuple[Checker, ...] = (
     check_spawn_pickle,
     check_shm_lifecycle,
     check_engine_contract,
+    check_span_pairing,
 )
 
 

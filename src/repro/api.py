@@ -45,6 +45,8 @@ from .core.parameters import PipelineConfig
 from .core.pipeline import SolveResult, run_pipelined
 from .grid.grid3d import Grid3D
 from .kernels.stencils import StarStencil
+from .obs.metrics import trace_metrics
+from .obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["BACKENDS", "solve", "submit", "map_jobs"]
 
@@ -73,6 +75,7 @@ def solve(
     stencil: Optional[StarStencil] = None,
     engine: Optional[str] = None,
     validate: Union[bool, str] = True,
+    trace: bool = False,
 ) -> SolveResult:
     """Advance ``field`` by ``config.total_updates`` levels on ``backend``.
 
@@ -102,6 +105,14 @@ def solve(
         an illegal schedule — and then runs with the per-pass runtime
         checks switched off (the proof replaces the assertions).
         ``False`` skips both.
+    trace:
+        ``True`` records an observability trace (:mod:`repro.obs`):
+        spans for every pass/block/engine-apply and halo-exchange
+        phase, merged across ranks onto one timeline, returned as
+        ``result.trace`` with the flat summary in ``result.metrics``.
+        Tracing never changes the numbers — the result is bit-identical
+        with tracing on or off — and when left off the instrumentation
+        reduces to a guard-variable check.
 
     Returns
     -------
@@ -126,20 +137,29 @@ def solve(
 
         radius = stencil.radius if stencil is not None else 1
         assert_legal(config, grid.shape, topo, radius=radius)
-    if backend == "shared":
-        if topo != (1, 1, 1):
-            raise ValueError(
-                f"the shared backend is single-process; topology {topo} "
-                "needs backend='simmpi' or 'procmpi'")
-        return run_pipelined(grid, field, config, stencil=stencil,
-                             validate=runtime_validate)
-    # Imported lazily, mirroring the top-level re-exports: the shared
-    # backend must work even where the distributed rail is unavailable.
-    from .dist.solver import distributed_jacobi_pipelined
+    if backend == "shared" and topo != (1, 1, 1):
+        raise ValueError(
+            f"the shared backend is single-process; topology {topo} "
+            "needs backend='simmpi' or 'procmpi'")
+    tracer = Tracer(pid=0, label="driver") if trace else NULL_TRACER
+    with tracer.span("solve", cat="solve", backend=backend,
+                     topo=f"{topo[0]}x{topo[1]}x{topo[2]}"):
+        if backend == "shared":
+            result = run_pipelined(grid, field, config, stencil=stencil,
+                                   validate=runtime_validate, tracer=tracer)
+        else:
+            # Imported lazily, mirroring the top-level re-exports: the
+            # shared backend must work even where the distributed rail
+            # is unavailable.
+            from .dist.solver import distributed_jacobi_pipelined
 
-    return distributed_jacobi_pipelined(grid, field, topo, config,
-                                        stencil=stencil, transport=backend,
-                                        validate=runtime_validate)
+            result = distributed_jacobi_pipelined(
+                grid, field, topo, config, stencil=stencil,
+                transport=backend, validate=runtime_validate, tracer=tracer)
+    if trace:
+        result.trace = tracer.finish()
+        result.metrics = trace_metrics(result.trace)
+    return result
 
 
 def submit(grid: Grid3D, field: np.ndarray,

@@ -26,10 +26,11 @@ from ..grid.blocks import BlockDecomposition
 from ..grid.grid3d import Grid3D
 from ..grid.region import Box
 from ..kernels.stencils import StarStencil
+from ..obs.tracer import NULL_TRACER, Tracer
 from .parameters import PipelineConfig
 from .schedule import make_decomposition
 from .storage import CompressedStorage, make_storage
-from .sync import make_policy
+from .sync import make_policy, waiting_stages
 
 __all__ = ["ScheduleDeadlock", "ExecutionStats", "PipelineExecutor", "ORDERS"]
 
@@ -85,6 +86,10 @@ class PipelineExecutor:
         checks).  Tests run with it on; large demo runs may switch it off.
     record_trace:
         Keep the full (pass, stage, block) execution order in the stats.
+    tracer:
+        An :class:`repro.obs.tracer.Tracer` to record per-block spans and
+        sync/drain counters into; defaults to the no-op tracer, whose
+        guard variable keeps the instrumented paths allocation-free.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class PipelineExecutor:
         active_fn: Optional[ActiveFn] = None,
         validate: bool = True,
         record_trace: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if order not in ORDERS:
             raise ValueError(f"unknown order {order!r}; choose from {ORDERS}")
@@ -118,6 +124,7 @@ class PipelineExecutor:
                                     config.updates_per_pass, validate=validate)
         self.stats = ExecutionStats(per_stage_blocks=[0] * config.n_stages,
                                     trace=[] if record_trace else None)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rr_next = 0
 
     # -- public API -------------------------------------------------------------
@@ -142,23 +149,34 @@ class PipelineExecutor:
         n_blocks = self.decomp.n_traversal_blocks
         counters = [0] * P
         finished = [False] * P
-        while not all(finished):
-            ready = [s for s in range(P)
-                     if not finished[s]
-                     and self.policy.ready(s, counters, finished)]
-            if not ready:
-                raise ScheduleDeadlock(
-                    f"pass {pass_idx}: no ready stage (counters={counters}); "
-                    f"sync spec {cfg.sync.describe()} cannot make progress"
-                )
-            s = self._pick(ready)
-            self._execute_block(pass_idx, s, counters[s])
-            counters[s] += 1
-            if counters[s] == n_blocks:
-                finished[s] = True
-            gap = max(counters) - min(counters)
-            if gap > self.stats.max_counter_gap:
-                self.stats.max_counter_gap = gap
+        with self.tracer.span("pass", cat="core", idx=pass_idx):
+            while not all(finished):
+                ready = [s for s in range(P)
+                         if not finished[s]
+                         and self.policy.ready(s, counters, finished)]
+                if not ready:
+                    raise ScheduleDeadlock(
+                        f"pass {pass_idx}: no ready stage (counters={counters}); "
+                        f"sync spec {cfg.sync.describe()} cannot make progress"
+                    )
+                if self.tracer.enabled:
+                    # Sync-window pressure: how many unfinished stages the
+                    # window blocks at this poll (the functional rail's
+                    # deterministic proxy for wait time), and whether we
+                    # are in a drain phase (some stage already done).
+                    blocked = waiting_stages(self.policy, counters, finished)
+                    if blocked:
+                        self.tracer.count("sync.blocked_polls", len(blocked))
+                    if any(finished):
+                        self.tracer.count("core.drain_blocks")
+                s = self._pick(ready)
+                self._execute_block(pass_idx, s, counters[s])
+                counters[s] += 1
+                if counters[s] == n_blocks:
+                    finished[s] = True
+                gap = max(counters) - min(counters)
+                if gap > self.stats.max_counter_gap:
+                    self.stats.max_counter_gap = gap
 
     # -- internals ---------------------------------------------------------------
 
@@ -193,19 +211,25 @@ class PipelineExecutor:
         if self.stats.trace is not None:
             self.stats.trace.append((pass_idx, stage, traversal_idx))
         any_work = False
-        for u_local in cfg.stage_updates(stage):
-            level = base + u_local
-            region = self.decomp.region(traversal_idx, u_local - 1,
-                                        self._active(level), mirror=mirror)
-            if region.is_empty:
-                continue
-            any_work = True
-            self._apply_update(region, level)
+        with self.tracer.span("block", cat="core", tid=stage + 1,
+                              stage=stage, idx=traversal_idx):
+            for u_local in cfg.stage_updates(stage):
+                level = base + u_local
+                region = self.decomp.region(traversal_idx, u_local - 1,
+                                            self._active(level), mirror=mirror)
+                if region.is_empty:
+                    continue
+                any_work = True
+                self._apply_update(region, level, stage)
         self.stats.per_stage_blocks[stage] += 1
         if not any_work:
             self.stats.empty_block_ops += 1
 
-    def _apply_update(self, region: Box, level: int) -> None:
-        self.engine.apply(self.stencil, self.storage, region, level)
+    def _apply_update(self, region: Box, level: int, stage: int = 0) -> None:
+        with self.tracer.span("apply", cat="engine", tid=stage + 1,
+                              engine=self.engine.name,
+                              semantics=self.engine.semantics,
+                              cells=region.ncells):
+            self.engine.apply(self.stencil, self.storage, region, level)
         self.stats.updates += 1
         self.stats.cells_updated += region.ncells

@@ -17,14 +17,15 @@ for existing code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..grid.grid3d import Grid3D
 from ..kernels.jacobi import jacobi7
 from ..kernels.stencils import StarStencil
+from ..obs.tracer import Trace, Tracer
 from .executor import ExecutionStats, PipelineExecutor
 from .parameters import PipelineConfig
 from .schedule import check_coverage, make_decomposition
@@ -61,6 +62,10 @@ class SolveResult:
     bytes_exchanged: int = 0
     #: Total messages sent by all ranks over the whole solve.
     messages: int = 0
+    #: Flat observability metrics (empty unless the solve was traced).
+    metrics: Dict[str, float] = dc_field(default_factory=dict)
+    #: Merged span/counter timeline (``None`` unless the solve was traced).
+    trace: Optional[Trace] = None
 
     @property
     def cells_updated(self) -> int:
@@ -95,6 +100,7 @@ def run_pipelined(
     rng: Optional[np.random.Generator] = None,
     validate: bool = True,
     record_trace: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> SolveResult:
     """Advance ``field`` by ``config.total_updates`` Jacobi time levels.
 
@@ -107,6 +113,7 @@ def run_pipelined(
     ex = PipelineExecutor(
         grid, field, config, st,
         order=order, rng=rng, validate=validate, record_trace=record_trace,
+        tracer=tracer,
     )
     out = ex.run()
     return SolveResult(

@@ -21,7 +21,8 @@ from typing import List, Protocol, Sequence
 
 from .parameters import BarrierSpec, PipelineConfig, RelaxedSpec
 
-__all__ = ["SyncPolicy", "BarrierPolicy", "RelaxedPolicy", "make_policy"]
+__all__ = ["SyncPolicy", "BarrierPolicy", "RelaxedPolicy", "make_policy",
+           "waiting_stages"]
 
 
 class SyncPolicy(Protocol):
@@ -125,6 +126,20 @@ class RelaxedPolicy:
             if counters[stage] - counters[stage + 1] > self.d_u_eff[stage]:
                 out.append(stage + 1)
         return out
+
+
+def waiting_stages(policy: SyncPolicy, counters: Sequence[int],
+                   finished: Sequence[bool]) -> List[int]:
+    """Unfinished stages the sync window blocks *right now*.
+
+    The observability layer's view of sync-wait: on the functional rail
+    a stage never sleeps (stages are simulated on one thread), so the
+    per-poll count of window-blocked stages is the deterministic,
+    host-independent proxy for wait time — the executor accumulates it
+    into the ``sync.blocked_polls`` counter only while tracing.
+    """
+    return [s for s in range(len(counters))
+            if not finished[s] and not policy.ready(s, counters, finished)]
 
 
 def make_policy(config: PipelineConfig) -> SyncPolicy:

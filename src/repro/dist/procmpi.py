@@ -325,8 +325,8 @@ class ProcComm(Comm):
 # The drivers: a persistent rank world, and the one-shot run_procs on top.
 # ---------------------------------------------------------------------------
 
-_counter_lock = threading.Lock()
-_process_spawns = 0
+#: Registry name of the spawn counter (see :mod:`repro.obs.registry`).
+SPAWNS_COUNTER = "procmpi.process_spawns"
 
 
 def process_spawns() -> int:
@@ -334,15 +334,18 @@ def process_spawns() -> int:
 
     Deterministic for a fixed call sequence, so throughput tests can
     assert setup amortisation ("a warm pool spawns 2x fewer processes")
-    without touching a wall clock.
+    without touching a wall clock.  Compatibility read of the
+    process-wide obs registry's :data:`SPAWNS_COUNTER`.
     """
-    return _process_spawns
+    from ..obs import registry
+
+    return int(registry.counter(SPAWNS_COUNTER))
 
 
 def _count_spawns(n: int) -> None:
-    global _process_spawns
-    with _counter_lock:
-        _process_spawns += n
+    from ..obs import registry
+
+    registry.inc(SPAWNS_COUNTER, n)
 
 
 def _serve_main(rank: int, links: _Links, task_q: Any) -> None:

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import os
 import secrets
-import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -54,8 +53,8 @@ __all__ = [
 #: Every segment this package creates carries this name prefix.
 SEGMENT_PREFIX = "repro-shm-"
 
-_counter_lock = threading.Lock()
-_segment_creates = 0
+#: Registry name of the creation counter (see :mod:`repro.obs.registry`).
+SEGMENTS_COUNTER = "shm.segment_creates"
 
 
 def segment_creates() -> int:
@@ -63,9 +62,12 @@ def segment_creates() -> int:
 
     Deterministic for a fixed call sequence — the serving layer's
     throughput tests assert setup amortisation on this counter instead
-    of a wall clock.
+    of a wall clock.  Compatibility read of the process-wide obs
+    registry's :data:`SEGMENTS_COUNTER`.
     """
-    return _segment_creates
+    from ..obs import registry
+
+    return int(registry.counter(SEGMENTS_COUNTER))
 
 
 @dataclass(frozen=True)
@@ -153,9 +155,9 @@ class ShmPool:
                 break
             except FileExistsError:  # pragma: no cover - 2^32 collision
                 continue
-        global _segment_creates
-        with _counter_lock:
-            _segment_creates += 1
+        from ..obs import registry
+
+        registry.inc(SEGMENTS_COUNTER)
         self._segments.append(shm)
         return shm
 

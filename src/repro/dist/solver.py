@@ -35,6 +35,7 @@ floating-point accuracy — which ``tests/test_dist.py`` pins at 1e-13.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,7 @@ from ..grid.region import Box
 from ..kernels.jacobi import jacobi7
 from ..kernels.reference import reference_sweep_region
 from ..kernels.stencils import StarStencil
+from ..obs.tracer import NULL_TRACER, Tracer
 from .comm import Comm
 from .decomp import CartesianDecomposition
 from .exchange import ExchangeEntry, exchange_plan
@@ -90,25 +92,39 @@ def _shifted_boundary(boundary: DirichletBoundary, off: Coord) -> DirichletBound
 
 def _run_exchange(comm: Comm, plan: List[ExchangeEntry],
                   extract: Callable[[Box], np.ndarray],
-                  inject: Callable[[Box, np.ndarray], None]) -> Tuple[int, int]:
+                  inject: Callable[[Box, np.ndarray], None],
+                  tracer: Tracer = NULL_TRACER) -> Tuple[int, int]:
     """One full 3-phase ghost exchange; returns (bytes_sent, messages).
 
     Within a phase all sends are issued before any receive — sends are
     buffered (copy-on-send), so this cannot deadlock regardless of rank
     interleaving.  Phases are ordered (dim 0, 1, 2) because later phases
     forward the ghost data received in earlier ones (Fig. 4).
+
+    When traced, each non-empty phase becomes a span, every send bumps
+    the ``exchange.bytes``/``exchange.messages`` counters, and each
+    blocking receive gets an ``exchange.recv_wait`` span — the wait-time
+    signal :func:`repro.obs.trace_metrics` aggregates per solve.
     """
     nbytes = 0
     messages = 0
     for dim in range(3):
         phase = [e for e in plan if e[0] == dim]
-        for (_, _, peer, send, _) in phase:
-            vals = extract(send)
-            comm.send(peer, vals)
-            nbytes += vals.nbytes
-            messages += 1
-        for (_, _, peer, _, recv) in phase:
-            inject(recv, comm.recv(peer))
+        if not phase:
+            continue
+        with tracer.span("exchange.phase", cat="dist", dim=dim,
+                         entries=len(phase)):
+            for (_, _, peer, send, _) in phase:
+                vals = extract(send)
+                comm.send(peer, vals)
+                nbytes += vals.nbytes
+                messages += 1
+                tracer.count("exchange.bytes", vals.nbytes)
+                tracer.count("exchange.messages")
+            for (_, _, peer, _, recv) in phase:
+                with tracer.span("exchange.recv_wait", cat="dist", peer=peer):
+                    vals = comm.recv(peer)
+                inject(recv, vals)
     return nbytes, messages
 
 
@@ -215,6 +231,7 @@ def _pipelined_rank_body(comm: Comm, rank: int, boundary: DirichletBoundary,
                          plan: List[ExchangeEntry], stored_field: np.ndarray,
                          config: PipelineConfig, stencil: StarStencil,
                          order: str, validate: bool,
+                         tracer: Tracer = NULL_TRACER,
                          ) -> Tuple[Box, np.ndarray, int, int, ExecutionStats]:
     """One rank of the hybrid scheme: pipelined executor + halo exchange."""
     h = config.updates_per_pass
@@ -232,27 +249,29 @@ def _pipelined_rank_body(comm: Comm, rank: int, boundary: DirichletBoundary,
         u = (level - 1) % h + 1
         return core_l.grow(h - u)
 
-    ex = PipelineExecutor(
-        lgrid, np.ascontiguousarray(stored_field),
-        config, stencil, order=order, active_fn=active_fn, validate=validate,
-    )
-    storage = ex.storage
-    nbytes = messages = 0
-    for p in range(config.passes):
-        base = p * h
+    with tracer.span("rank", cat="dist", rank=rank):
+        ex = PipelineExecutor(
+            lgrid, np.ascontiguousarray(stored_field),
+            config, stencil, order=order, active_fn=active_fn,
+            validate=validate, tracer=tracer,
+        )
+        storage = ex.storage
+        nbytes = messages = 0
+        for p in range(config.passes):
+            base = p * h
 
-        def extract(box: Box, base: int = base) -> np.ndarray:
-            return storage.extract_region(box.shift(neg), base)
+            def extract(box: Box, base: int = base) -> np.ndarray:
+                return storage.extract_region(box.shift(neg), base)
 
-        def inject(box: Box, vals: np.ndarray, base: int = base) -> None:
-            storage.inject(box.shift(neg), base, vals)
+            def inject(box: Box, vals: np.ndarray, base: int = base) -> None:
+                storage.inject(box.shift(neg), base, vals)
 
-        b, m = _run_exchange(comm, plan, extract, inject)
-        nbytes += b
-        messages += m
-        ex.run_pass(p)
-    final = config.passes * h
-    core_vals = storage.extract_region(core_l, final)
+            b, m = _run_exchange(comm, plan, extract, inject, tracer=tracer)
+            nbytes += b
+            messages += m
+            ex.run_pass(p)
+        final = config.passes * h
+        core_vals = storage.extract_region(core_l, final)
     return geo.core, core_vals, nbytes, messages, ex.stats
 
 
@@ -286,6 +305,9 @@ class _ProcTask:
     config: Optional[PipelineConfig] = None
     order: str = "round_robin"
     validate: bool = True
+    #: Record an observability trace in the rank and ship it back with
+    #: the results (defaulted, so pickled tasks stay compatible).
+    trace: bool = False
 
 
 def _proc_sweeps_entry(comm: Comm, rank: int, task: _ProcTask):
@@ -305,15 +327,20 @@ def _proc_sweeps_entry(comm: Comm, rank: int, task: _ProcTask):
 def _proc_pipelined_entry(comm: Comm, rank: int, task: _ProcTask):
     decomp = CartesianDecomposition(task.shape, task.proc_grid, task.halo)
     plan = exchange_plan(decomp, decomp.geometry(rank))
+    tracer = Tracer(pid=rank) if task.trace else NULL_TRACER
     with attach_array(task.field_in) as fin, \
             attach_array(task.field_out) as fout:
         geo = decomp.geometry(rank)
         core, vals, nbytes, messages, stats = _pipelined_rank_body(
             comm, rank, task.boundary, np.dtype(task.dtype), decomp, plan,
             fin[geo.stored.slices()], task.config, task.stencil,
-            task.order, task.validate)
+            task.order, task.validate, tracer=tracer)
         fout[core.slices()] = vals
-    return core, nbytes, messages, stats
+    # The trace rides the existing result queue back to the driver as a
+    # plain picklable dataclass; timestamps stay rank-clock-local and
+    # the driver re-bases them when absorbing (fork and spawn safe).
+    return core, nbytes, messages, stats, (tracer.finish()
+                                           if task.trace else None)
 
 
 class ProcSolverSession:
@@ -419,15 +446,26 @@ class ProcSolverSession:
                         config: PipelineConfig,
                         stencil: Optional[StarStencil] = None,
                         order: str = "round_robin",
-                        validate: bool = True) -> SolveResult:
+                        validate: bool = True,
+                        tracer: Tracer = NULL_TRACER) -> SolveResult:
         """The hybrid scheme on the warm ranks; ``h`` must match the session."""
         if config.updates_per_pass != self.halo:
             raise ValueError(
                 f"config h={config.updates_per_pass} != session halo "
                 f"{self.halo}")
+        # Anchor for merging rank traces: the ranks' clock origins are
+        # not comparable to ours under spawn, so their spans are slid
+        # onto this dispatch timestamp when absorbed.
+        dispatch = time.perf_counter()
         outs, assembled = self._run(
             _proc_pipelined_entry, grid, field, stencil or jacobi7(),
-            config=config, order=order, validate=validate)
+            config=config, order=order, validate=validate,
+            trace=tracer.enabled)
+        if tracer.enabled:
+            for rank, o in enumerate(outs):
+                if len(o) > 4 and o[4] is not None:
+                    tracer.absorb(o[4], pid=rank + 1, at=dispatch,
+                                  label=f"rank {rank} (proc)")
         return SolveResult(
             field=assembled,
             levels_advanced=config.total_updates,
@@ -549,6 +587,7 @@ def distributed_jacobi_pipelined(
     order: str = "round_robin",
     validate: bool = True,
     transport: str = "simmpi",
+    tracer: Tracer = NULL_TRACER,
 ) -> SolveResult:
     """The paper's hybrid scheme: one pipelined executor per rank.
 
@@ -558,6 +597,8 @@ def distributed_jacobi_pipelined(
     scheme: the compressed grid's shifted storage positions do not
     compose with ghost injection across ranks.  ``transport`` picks
     thread ranks (``"simmpi"``) or process ranks (``"procmpi"``).
+    An enabled ``tracer`` (see :func:`repro.solve`'s ``trace=``) records
+    per-rank spans and merges every rank onto its timeline.
     """
     if config.storage != "twogrid":
         raise ValueError(
@@ -575,16 +616,28 @@ def distributed_jacobi_pipelined(
         with ProcSolverSession(grid.shape, grid.dtype, decomp.proc_grid,
                                h, decomp=decomp, plans=plans) as session:
             return session.solve_pipelined(grid, field, config, stencil=st,
-                                           order=order, validate=validate)
+                                           order=order, validate=validate,
+                                           tracer=tracer)
 
     def rank_fn(comm: Comm, rank: int):
         geo = decomp.geometry(rank)
-        return _pipelined_rank_body(comm, rank, grid.boundary, grid.dtype,
+        # One tracer per thread rank; finished into a picklable Trace
+        # that rides the rank's result tuple, exactly like procmpi.
+        rtracer = Tracer(pid=rank) if tracer.enabled else NULL_TRACER
+        body = _pipelined_rank_body(comm, rank, grid.boundary, grid.dtype,
                                     decomp, plans[rank],
                                     field[geo.stored.slices()], config, st,
-                                    order, validate)
+                                    order, validate, tracer=rtracer)
+        return body + ((rtracer.finish() if tracer.enabled else None),)
 
     outs = run_ranks(decomp.n_ranks, rank_fn)
+    if tracer.enabled:
+        # Thread ranks share our clock, so each trace is absorbed at its
+        # own start (zero shift) — the genuine stagger is preserved.
+        for rank, o in enumerate(outs):
+            if o[5] is not None:
+                tracer.absorb(o[5], pid=rank + 1, at=o[5].start,
+                              label=f"rank {rank} (thread)")
     return SolveResult(
         field=_assemble(grid, [(core, vals) for core, vals, *_ in outs]),
         levels_advanced=config.total_updates,

@@ -122,6 +122,16 @@ class Engine:
 
     # -- conveniences ----------------------------------------------------------
 
+    @property
+    def obs_label(self) -> str:
+        """Stable observability key: the engine keyed by semantics class.
+
+        Span args and metric names use this instead of bare ``name`` so
+        traces group engines the same way the cache does — by the
+        bit-semantics class that actually determines the numbers.
+        """
+        return f"{self.semantics}/{self.name}"
+
     def describe(self) -> str:
         """One-line summary for tables and reports."""
         caps = [flag for flag, on in (("tiled", self.tiled),

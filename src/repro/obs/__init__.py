@@ -1,0 +1,72 @@
+"""repro.obs — zero-dependency tracing and metrics across every rail.
+
+The observability layer the paper implicitly assumes: the argument of
+pipelined temporal blocking is about *where time goes* (sync-window
+waits, halo exchange, in-cache block updates), so the runtime must be
+able to show exactly that.  Three pieces:
+
+* **Tracer** (:mod:`repro.obs.tracer`) — nestable spans plus monotonic
+  counters and gauges, a no-op behind a guard variable when disabled
+  (the zero-allocation fast path is pinned by a counter-based test).
+  ``repro.solve(..., trace=True)`` threads one through the executor,
+  the halo exchange, the engine layer and — for the distributed
+  backends — every rank, whose traces are shipped back over the
+  existing queues and merged onto one timeline under fork *and* spawn.
+* **Registry** (:mod:`repro.obs.registry`) — process-wide named
+  counters/gauges unifying what used to be ad-hoc module globals
+  (``procmpi.process_spawns()``, ``shm.segment_creates()``, the
+  ``ResultCache`` counters, the ``Service`` stats).
+* **Exporters** — Chrome ``trace_events`` JSON
+  (:func:`write_chrome_trace`, viewable in ``chrome://tracing`` /
+  Perfetto), the flat ``SolveResult.metrics`` dict
+  (:func:`trace_metrics`), and a ``python -m repro.obs`` CLI to
+  dump/summarize/diff trace files.  The differential hook
+  (:mod:`repro.obs.differential`) compares traced per-stage occupancy
+  against the calibrated DES prediction — the first step of ROADMAP's
+  "turn the DES on ourselves".
+
+Typical use::
+
+    res = repro.solve(grid, field, cfg, topology=(1, 1, 2),
+                      backend="procmpi", trace=True)
+    print(res.metrics["exchange_wait_frac"], res.metrics["spans"])
+    repro.obs.write_chrome_trace(res.trace, "solve.json")
+"""
+
+from .differential import StageComparison, compare_stage_occupancy
+from .export import (
+    load_chrome_trace,
+    span_coverage,
+    to_chrome,
+    write_chrome_trace,
+)
+from .metrics import stage_busy, stage_occupancy, trace_metrics
+from .registry import REGISTRY, MetricsRegistry
+from .tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanRecord,
+    Trace,
+    Tracer,
+    spans_started,
+)
+
+__all__ = [
+    "Tracer",
+    "Trace",
+    "SpanRecord",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "spans_started",
+    "MetricsRegistry",
+    "REGISTRY",
+    "trace_metrics",
+    "stage_busy",
+    "stage_occupancy",
+    "to_chrome",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "span_coverage",
+    "StageComparison",
+    "compare_stage_occupancy",
+]

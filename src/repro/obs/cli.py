@@ -1,0 +1,125 @@
+"""``python -m repro.obs`` — dump, summarize and diff trace files.
+
+Subcommands::
+
+    dump       print every span of a Chrome-trace JSON file as a table
+    summarize  reduce a trace file to the flat metrics dict
+    diff       compare the summarized metrics of two trace files
+
+Examples::
+
+    python -m repro.obs dump trace.json
+    python -m repro.obs summarize trace.json
+    python -m repro.obs diff before.json after.json
+
+The files are the ``chrome://tracing`` JSON produced by
+:func:`repro.obs.write_chrome_trace` (e.g. from
+``repro.solve(..., trace=True)`` results) — load the same file in
+``chrome://tracing`` or Perfetto for the visual timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..bench.reporting import banner, format_table
+from .export import load_chrome_trace
+from .metrics import trace_metrics
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Inspect Chrome-trace JSON files produced by traced "
+                    "solves (repro.solve(..., trace=True)).")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser("dump", help="print every span as a table")
+    dump.add_argument("trace", type=Path)
+    dump.add_argument("--limit", type=int, default=0,
+                      help="print at most N spans (0 = all)")
+
+    summ = sub.add_parser("summarize",
+                          help="reduce a trace to the flat metrics dict")
+    summ.add_argument("trace", type=Path)
+
+    diff = sub.add_parser("diff",
+                          help="compare the summarized metrics of two traces")
+    diff.add_argument("base", type=Path)
+    diff.add_argument("new", type=Path)
+    return p
+
+
+def _load(path: Path):
+    try:
+        return load_chrome_trace(path)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"error: cannot read trace {path}: {exc}")
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    t0 = trace.start
+    spans = sorted(trace.spans, key=lambda s: (s.start, s.pid, s.tid))
+    if args.limit > 0:
+        spans = spans[:args.limit]
+    rows = [[s.pid, s.tid, s.name, s.cat,
+             (s.start - t0) * 1e3, s.duration * 1e3,
+             " ".join(f"{k}={v}" for k, v in s.args)]
+            for s in spans]
+    print(banner(f"{args.trace} — {len(trace.spans)} span(s), "
+                 f"{len(trace.pids())} process(es)"))
+    print(format_table(["pid", "tid", "name", "cat", "t_ms", "dur_ms",
+                        "args"], rows, floatfmt="10.3f"))
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    metrics = trace_metrics(trace)
+    print(banner(f"{args.trace} — summarized"))
+    print(format_table(["metric", "value"],
+                       [[name, value] for name, value in metrics.items()],
+                       floatfmt="14.6f"))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    base = trace_metrics(_load(args.base))
+    new = trace_metrics(_load(args.new))
+    rows = []
+    for name in sorted(set(base) | set(new)):
+        b = base.get(name)
+        n = new.get(name)
+        if b is None:
+            rows.append([name, "-", n, "added"])
+        elif n is None:
+            rows.append([name, b, "-", "removed"])
+        else:
+            if b != 0:
+                note = f"{(n - b) / abs(b):+.1%}"
+            else:
+                note = "=" if n == b else "changed"
+            rows.append([name, b, n, note])
+    print(banner(f"{args.base} -> {args.new}"))
+    print(format_table(["metric", "base", "new", "delta"], rows,
+                       floatfmt="14.6f"))
+    return 0
+
+
+_COMMANDS = {"dump": _cmd_dump, "summarize": _cmd_summarize,
+             "diff": _cmd_diff}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

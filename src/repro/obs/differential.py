@@ -1,0 +1,92 @@
+"""Differential hook: traced stage occupancy vs. DES prediction.
+
+The paper validates its analytic models against measurements (Fig. 5/6);
+ROADMAP's "turn the DES on ourselves" asks for the same loop around our
+own runtime.  This module is the first closure of that loop: it takes a
+*traced* solve (per-stage busy time from the block-update spans) and the
+:class:`~repro.sim.des_pipeline.NodeSimReport` the calibrated
+discrete-event simulator predicts for the identical configuration, and
+compares each stage's **share of total busy time**.
+
+Shares — not wall-clock occupancies — because the functional rail
+*simulates* its pipeline stages on one thread: absolute seconds measure
+the host interpreter, but the *distribution* of work across stages is a
+property of the schedule itself, which both rails execute identically.
+A stage whose traced share drifts from its predicted share is doing
+unexpected work (or unexpected waiting) — exactly the signal straggler
+detection in the serving fleet needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import stage_busy
+from .tracer import Trace
+
+__all__ = ["StageComparison", "compare_stage_occupancy",
+           "predicted_stage_share"]
+
+
+@dataclass(frozen=True)
+class StageComparison:
+    """One stage's traced-vs-predicted work share."""
+
+    stage: int
+    traced_share: float
+    predicted_share: float
+
+    @property
+    def delta(self) -> float:
+        return self.traced_share - self.predicted_share
+
+
+def predicted_stage_share(report) -> Dict[int, float]:
+    """Per-stage busy share implied by a DES ``NodeSimReport``.
+
+    The DES reports per-stage *idle* time; a stage's busy time is
+    ``total_time - idle_time[s]`` and shares normalise over stages.
+    """
+    busy = {int(s): max(report.total_time - t, 0.0)
+            for s, t in report.idle_time.items()}
+    total = sum(busy.values())
+    if total <= 0:
+        return {s: 0.0 for s in busy}
+    return {s: b / total for s, b in busy.items()}
+
+
+def compare_stage_occupancy(trace: Trace, report=None,
+                            config=None,
+                            shape: Optional[Sequence[int]] = None,
+                            machine=None) -> List[StageComparison]:
+    """Traced vs DES-predicted per-stage work shares, per stage.
+
+    Either pass a ready ``report`` (a
+    :class:`~repro.sim.des_pipeline.NodeSimReport`), or pass ``config``
+    and ``shape`` (plus optionally a ``machine`` — default: the paper's
+    Nehalem EP preset) and the DES runs here.
+    """
+    if report is None:
+        if config is None or shape is None:
+            raise ValueError(
+                "compare_stage_occupancy needs either a NodeSimReport or "
+                "(config, shape) to simulate one")
+        # Imported lazily: the sim rail is heavy and the obs package
+        # must stay importable (and cheap) everywhere, including inside
+        # spawned rank processes.
+        from ..machine.presets import nehalem_ep
+        from ..sim.des_pipeline import simulate_pipelined
+
+        report = simulate_pipelined(machine or nehalem_ep(), config,
+                                    tuple(shape), passes=config.passes)
+    predicted = predicted_stage_share(report)
+    busy = stage_busy(trace)
+    total = sum(busy.values())
+    traced = ({s: b / total for s, b in busy.items()} if total > 0
+              else {s: 0.0 for s in busy})
+    stages = sorted(set(predicted) | set(traced))
+    return [StageComparison(stage=s,
+                            traced_share=traced.get(s, 0.0),
+                            predicted_share=predicted.get(s, 0.0))
+            for s in stages]

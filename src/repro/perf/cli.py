@@ -169,6 +169,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_derived(record) -> list:
+    """Observability-derived summary columns, for records that carry them.
+
+    Suites that record obs metrics (traced solves, serve scenarios) get
+    a one-line digest under their table: halo-exchange wait share, span
+    coverage, and the cache hit ratio ``hits / (hits + backend solves)``.
+    """
+    m = record.metrics
+    notes = []
+    if "obs_exchange_wait_frac" in m:
+        notes.append(f"exchange wait {m['obs_exchange_wait_frac'].value:.1%}")
+    if "obs_span_coverage" in m:
+        notes.append(f"span coverage {m['obs_span_coverage'].value:.1%}")
+    if "cache_hits" in m and "backend_solves" in m:
+        hits = m["cache_hits"].value
+        total = hits + m["backend_solves"].value
+        if total > 0:
+            notes.append(f"cache hit ratio {hits / total:.1%}")
+    return notes
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     doc = store.load_document(args.result)
     env = doc.get("environment", {})
@@ -188,6 +209,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 for name, m in record.metrics.items()]
         print(format_table(["metric", "value", "unit", "better", "gate"],
                            rows, floatfmt="12.3f"))
+        derived = _obs_derived(record)
+        if derived:
+            print("obs: " + ", ".join(derived))
     return 0
 
 

@@ -226,7 +226,7 @@ def _sum_host_kernel(cells: int):
 
 def _sum_solve(payload, wall: float) -> Dict[str, Metric]:
     cells = payload.stats.cells_updated if payload.stats else 0
-    return {
+    out = {
         "mcups": Metric(ratio(cells, wall) / 1e6, unit="Mcell/s",
                         gate=False),
         "cells_updated": Metric(float(cells), unit="cells", gate=False),
@@ -237,6 +237,20 @@ def _sum_solve(payload, wall: float) -> Dict[str, Metric]:
         "messages": Metric(float(payload.messages), unit="msgs",
                            higher_is_better=False),
     }
+    obs = getattr(payload, "metrics", None)
+    if obs:
+        # Traced solve: the span count is an event counter (fixed
+        # schedule => fixed spans), gated exactly like the
+        # communication counters; durations/fractions are host-clock
+        # and stay informational.
+        out["obs_spans"] = Metric(float(obs.get("spans", 0.0)),
+                                  unit="spans", higher_is_better=False)
+        out["obs_span_coverage"] = Metric(obs.get("span_coverage", 0.0),
+                                          unit="frac", gate=False)
+        if "exchange_wait_frac" in obs:
+            out["obs_exchange_wait_frac"] = Metric(
+                obs["exchange_wait_frac"], unit="frac", gate=False)
+    return out
 
 
 # --------------------------------------------------------------------------
@@ -552,6 +566,25 @@ def _register_solvers() -> None:
             params={**base_params, "backend": "procmpi", "topology": topo},
             description="Distributed hybrid solve on real multiprocess "
                         "ranks (shared-memory halos)",
+        ))
+
+        def solve_traced(_suite=suite):
+            from ..api import solve
+            grid, field_, cfg, topo_ = _solver_problem(_suite)
+            return solve(grid, field_, cfg, topology=topo_,
+                         backend="simmpi", trace=True)
+
+        register(Scenario(
+            name=f"solve_traced@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=solve_traced,
+            summarize=_sum_solve,
+            params={**base_params, "backend": "simmpi", "topology": topo,
+                    "trace": True},
+            description="Traced simmpi solve: obs spans and counters "
+                        "recorded, summarized into obs_* metrics (proves "
+                        "the perf gate stays green with tracing on)",
         ))
 
         # The engine axis (E13): the same solver problems executed

@@ -27,6 +27,8 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..core.pipeline import SolveResult
+from ..obs import registry as _obs
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["ResultCache"]
 
@@ -58,10 +60,30 @@ class ResultCache:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self._entries: "OrderedDict[str, SolveResult]" = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.disk_hits = 0
+        # Counters live in a per-cache obs registry (mirrored into the
+        # process-wide one under ``serve.cache.*``); the attribute names
+        # below are the public, read-only view older callers use.
+        self._metrics = MetricsRegistry()
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self._metrics.inc(name, n)
+        _obs.inc(f"serve.cache.{name}", n)
+
+    @property
+    def hits(self) -> int:
+        return int(self._metrics.counter("hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._metrics.counter("misses"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._metrics.counter("evictions"))
+
+    @property
+    def disk_hits(self) -> int:
+        return int(self._metrics.counter("disk_hits"))
 
     def __len__(self) -> int:
         with self._lock:
@@ -78,7 +100,7 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._count("hits")
                 return _clone(entry)
         path = self._disk_path(key)
         if path is not None and path.is_file():
@@ -94,8 +116,8 @@ class ResultCache:
             else:
                 if isinstance(entry, SolveResult):
                     with self._lock:
-                        self.hits += 1
-                        self.disk_hits += 1
+                        self._count("hits")
+                        self._count("disk_hits")
                         self._store(key, entry)
                     return _clone(entry)
                 # Unpickles but is not ours: equally not worth keeping
@@ -105,7 +127,7 @@ class ResultCache:
                 except OSError:  # pragma: no cover - racing cleanup
                     pass
         with self._lock:
-            self.misses += 1
+            self._count("misses")
         return None
 
     def _store(self, key: str, result: SolveResult) -> None:
@@ -113,7 +135,7 @@ class ResultCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._count("evictions")
 
     def put(self, key: str, result: SolveResult) -> None:
         """Store ``result`` (field copied) in memory and on disk."""

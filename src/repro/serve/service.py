@@ -53,6 +53,7 @@ from ..core.pipeline import SolveResult
 from ..grid.grid3d import Grid3D
 from ..kernels.stencils import StarStencil
 from ..machine.topology import MachineSpec
+from ..obs.registry import MetricsRegistry
 from .autoconf import auto_config
 from .cache import ResultCache
 from .futures import SolveFuture, wait_all
@@ -64,14 +65,17 @@ __all__ = ["ServiceStats", "Service", "default_service", "configure",
            "submit", "map_jobs", "shutdown"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServiceStats:
-    """A deterministic snapshot of what the service did.
+    """A deterministic, immutable snapshot of what the service did.
 
     Everything here counts *events*, not seconds: for a fixed job
     sequence the numbers are identical on any host, which is what lets
     throughput assertions ("a warm pool spawns 2x fewer processes than
-    a cold loop") gate CI without wall-clock noise.
+    a cold loop") gate CI without wall-clock noise.  Frozen on purpose:
+    :attr:`Service.stats` is a point in time, and two snapshots taken
+    around an operation must diff that operation exactly — a live
+    (mutating) object here silently made such diffs zero.
     """
 
     submitted: int = 0
@@ -160,7 +164,10 @@ class Service:
                           else max(workers, 1)),
             start_method=start_method, timeout=comm_timeout)
         self._lock = threading.Lock()
-        self._stats = ServiceStats()
+        #: One registry for every event counter and gauge of this
+        #: service (:attr:`stats` snapshots it; traced solves and the
+        #: perf harness read the same names).
+        self._metrics = MetricsRegistry()
         self._inflight: Dict[str, Entry] = {}
         self._baseline = _setup_counters()
         self._closed = False
@@ -176,6 +183,11 @@ class Service:
     @property
     def cache(self) -> Optional[ResultCache]:
         return self._cache
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's live obs registry (counters and gauges)."""
+        return self._metrics
 
     @property
     def closed(self) -> bool:
@@ -216,8 +228,7 @@ class Service:
         if not job.resolved:
             cfg = auto_config(job.grid, job.topology, machine=self.machine)
             job = job.with_config(cfg)
-            with self._lock:
-                self._stats.auto_resolved += 1
+            self._metrics.inc("auto_resolved")
         future = SolveFuture(job)
         key = (job.content_key()
                if (job.cacheable and self._cache is not None) else None)
@@ -228,15 +239,15 @@ class Service:
         # bit-identical) recompute, never a wrong result.
         hit = self._cache.get(key) if key is not None else None
         with self._lock:
-            self._stats.submitted += 1
+            self._metrics.inc("submitted")
             if hit is not None:
-                self._stats.cache_hits += 1
+                self._metrics.inc("cache_hits")
                 future.cache_hit = True
             else:
                 if key is not None:
                     inflight = self._inflight.get(key)
                     if inflight is not None:
-                        self._stats.coalesced += 1
+                        self._metrics.inc("coalesced")
                         future.coalesced = True
                         inflight.futures.append(future)
                         return future
@@ -247,6 +258,7 @@ class Service:
             future._set_result(hit)
             return future
         self._queue.push(entry)
+        self._metrics.set_gauge("queue_depth", len(self._queue))
         return future
 
     def map(self, jobs: Iterable[SolveJob],
@@ -288,10 +300,11 @@ class Service:
             ran += len(batch)
 
     def _run_batch(self, batch: List[Entry]) -> None:
+        self._metrics.set_gauge("queue_depth", len(self._queue))
+        self._metrics.set_gauge("batch_size", len(batch))
         if len(batch) > 1:
-            with self._lock:
-                self._stats.batches += 1
-                self._stats.batched_jobs += len(batch)
+            self._metrics.inc("batches")
+            self._metrics.inc("batched_jobs", len(batch))
         for entry in batch:
             self._run_entry(entry)
 
@@ -305,7 +318,7 @@ class Service:
             if not live:
                 if entry.key is not None:
                     self._inflight.pop(entry.key, None)
-                self._stats.cancelled += len(entry.futures)
+                self._metrics.inc("cancelled", len(entry.futures))
                 return
         try:
             result = self._execute(entry.job)
@@ -313,7 +326,7 @@ class Service:
             with self._lock:
                 if entry.key is not None:
                     self._inflight.pop(entry.key, None)
-                self._stats.failed += 1
+                self._metrics.inc("failed")
                 waiters = list(entry.futures)
             for f in waiters:
                 f._set_exception(exc)
@@ -328,14 +341,13 @@ class Service:
             with self._lock:
                 if entry.key is not None:
                     self._inflight.pop(entry.key, None)
-                self._stats.completed += 1
+                self._metrics.inc("completed")
                 waiters = list(entry.futures)
             for f in waiters:
                 f._set_result(result)
 
     def _execute(self, job: SolveJob) -> SolveResult:
-        with self._lock:
-            self._stats.backend_solves += 1
+        self._metrics.inc("backend_solves")
         if job.backend == "procmpi":
             session = self._sessions.acquire(job)
             try:
@@ -359,16 +371,35 @@ class Service:
 
     @property
     def stats(self) -> ServiceStats:
-        """A point-in-time copy (pool and setup counters folded in)."""
+        """An immutable point-in-time snapshot of the event counters.
+
+        Built from one atomic read of the service's obs registry plus
+        the pool and global setup counters; being frozen, the object a
+        caller holds can never drift as the service keeps working.
+        """
         now = _setup_counters()
-        with self._lock:
-            snap = replace(self._stats)
-        snap.sessions_created = self._sessions.created
-        snap.sessions_reused = self._sessions.reused
-        snap.sessions_dropped = self._sessions.dropped
-        snap.process_spawns = now["spawns"] - self._baseline["spawns"]
-        snap.segments_created = now["segments"] - self._baseline["segments"]
-        return snap
+        counts = self._metrics.snapshot()["counters"]
+
+        def c(name: str) -> int:
+            return int(counts.get(name, 0))
+
+        return ServiceStats(
+            submitted=c("submitted"),
+            completed=c("completed"),
+            failed=c("failed"),
+            cancelled=c("cancelled"),
+            cache_hits=c("cache_hits"),
+            coalesced=c("coalesced"),
+            auto_resolved=c("auto_resolved"),
+            batches=c("batches"),
+            batched_jobs=c("batched_jobs"),
+            backend_solves=c("backend_solves"),
+            sessions_created=self._sessions.created,
+            sessions_reused=self._sessions.reused,
+            sessions_dropped=self._sessions.dropped,
+            process_spawns=now["spawns"] - self._baseline["spawns"],
+            segments_created=now["segments"] - self._baseline["segments"],
+        )
 
     def close(self) -> None:
         """Finish queued work, stop the workers, tear down the pool."""
