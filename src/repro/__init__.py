@@ -69,7 +69,14 @@ from .api import BACKENDS, map_jobs, solve, submit
 #: serving layer lazily, at call time).
 map = map_jobs
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
+
+#: Symbols re-exported from the truly-threaded rail (lazy: the shared
+#: and distributed rails never import it).
+_THREADS_EXPORTS = frozenset({
+    "ThreadedPipelineExecutor",
+    "run_threaded",
+})
 
 #: Symbols re-exported from the distributed rail.  Resolved lazily (PEP
 #: 562) so that `import repro` — and with it the shared-memory rail and
@@ -139,6 +146,10 @@ def __getattr__(name: str):
         from . import obs
 
         return getattr(obs, name)
+    if name in _THREADS_EXPORTS:
+        from . import threads
+
+        return getattr(threads, name)
     if name in _DIST_EXPORTS:
         from . import dist
 
@@ -155,8 +166,9 @@ def __getattr__(name: str):
 
 
 def __dir__():
-    return sorted(set(globals()) | _DIST_EXPORTS | _SERVE_EXPORTS
-                  | _AUTOTUNE_EXPORTS | _ANALYSIS_EXPORTS | _OBS_EXPORTS)
+    return sorted(set(globals()) | _THREADS_EXPORTS | _DIST_EXPORTS
+                  | _SERVE_EXPORTS | _AUTOTUNE_EXPORTS | _ANALYSIS_EXPORTS
+                  | _OBS_EXPORTS)
 
 __all__ = [
     "Engine",
@@ -182,6 +194,8 @@ __all__ = [
     "SolveResult",
     "StorageError",
     "run_pipelined",
+    "ThreadedPipelineExecutor",
+    "run_threaded",
     "CartesianDecomposition",
     "ClusterModel",
     "Comm",

@@ -28,6 +28,12 @@ cannot know:
   the context expression of a ``with`` statement (or sit inside a
   ``try``/``finally``): a span entered any other way stays open when an
   exception unwinds, corrupting every containing timeline.
+* **cond-wait-loop** — ``Condition.wait()`` must sit inside a ``while``
+  loop that re-checks the predicate.  An ``if``-guarded wait is the
+  missed-/spurious-wakeup bug class the threaded rail's
+  :class:`~repro.core.sync.CounterBoard` exists to fix (a stage can
+  become ready because its predecessor *finished* — no further counter
+  update will ever arrive), so the pattern is banned mechanically.
 """
 
 from __future__ import annotations
@@ -353,6 +359,51 @@ def check_span_pairing(path: str, tree: ast.Module,
                    if node.lineno <= len(lines) else "")
 
 
+def check_cond_wait_loop(path: str, tree: ast.Module,
+                         lines: Sequence[str]) -> Iterator[Issue]:
+    """Condition-variable waits must re-check their predicate in a loop.
+
+    Flags ``<receiver>.wait(...)`` where the receiver's name mentions
+    ``cond`` (``cond``, ``self._cond``, ``ready_condition``, ...) and
+    the call is not lexically inside a ``while`` statement.  Both
+    failure modes of a straight-line or ``if``-guarded wait are real
+    here: ``Condition.wait`` may return spuriously, and a wakeup for a
+    *different* predicate (another stage's window opening, the drain
+    waiver, an abort) must be re-evaluated, not trusted.  Events and
+    futures (``ev.wait()``, ``fut.wait()``) are level-triggered and are
+    not matched.
+    """
+    in_while = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.While):
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    in_while.add(id(sub))
+            for sub in ast.walk(node.test):
+                in_while.add(id(sub))
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "wait"):
+            continue
+        recv = node.func.value
+        recv_name = ""
+        if isinstance(recv, ast.Name):
+            recv_name = recv.id
+        elif isinstance(recv, ast.Attribute):
+            recv_name = recv.attr
+        if "cond" not in recv_name.lower():
+            continue
+        if id(node) in in_while:
+            continue
+        yield ("cond-wait-loop", node.lineno,
+               f"{recv_name}.wait() outside a 'while' loop: condition "
+               "waits must re-check their predicate (spurious wakeups; "
+               "wakeups for other predicates, e.g. the drain waiver)",
+               lines[node.lineno - 1].strip()
+               if node.lineno <= len(lines) else "")
+
+
 #: The rule set, in report order.
 CHECKERS: Tuple[Checker, ...] = (
     check_dead_imports,
@@ -362,6 +413,7 @@ CHECKERS: Tuple[Checker, ...] = (
     check_shm_lifecycle,
     check_engine_contract,
     check_span_pairing,
+    check_cond_wait_loop,
 )
 
 

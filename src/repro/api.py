@@ -23,6 +23,13 @@ Backends
 ``"shared"``
     One process, ``n`` teams of ``t`` threads (simulated stages) —
     :func:`repro.core.pipeline.run_pipelined`.
+``"threads"``
+    One process, one **real OS thread per pipeline stage**, gated by
+    condition-variable sync counters — :func:`repro.threads.run_threaded`.
+    Bit-identical to ``"shared"``; the schedule is certified by
+    :func:`repro.analysis.assert_legal` unconditionally before any
+    thread starts (a true-threads executor cannot rely on runtime
+    interleaving checks alone).
 ``"simmpi"``
     One thread-backed simulated-MPI rank per subdomain —
     :func:`repro.dist.solver.distributed_jacobi_pipelined`.
@@ -51,7 +58,7 @@ from .obs.tracer import NULL_TRACER, Tracer
 __all__ = ["BACKENDS", "solve", "submit", "map_jobs"]
 
 #: Execution backends understood by :func:`solve`.
-BACKENDS = ("shared", "simmpi", "procmpi")
+BACKENDS = ("shared", "threads", "simmpi", "procmpi")
 
 
 def _check_topology(topology: Optional[Sequence[int]]) -> Tuple[int, int, int]:
@@ -88,8 +95,8 @@ def solve(
         Process grid ``(Pz, Py, Px)``; defaults to ``(1, 1, 1)``.  The
         shared backend is single-process and rejects anything else.
     backend:
-        ``"shared"``, ``"simmpi"`` or ``"procmpi"`` (see module
-        docstring).
+        ``"shared"``, ``"threads"``, ``"simmpi"`` or ``"procmpi"``
+        (see module docstring).
     stencil:
         Optional radius-1 star stencil (defaults to the 7-point Jacobi).
     engine:
@@ -137,9 +144,9 @@ def solve(
 
         radius = stencil.radius if stencil is not None else 1
         assert_legal(config, grid.shape, topo, radius=radius)
-    if backend == "shared" and topo != (1, 1, 1):
+    if backend in ("shared", "threads") and topo != (1, 1, 1):
         raise ValueError(
-            f"the shared backend is single-process; topology {topo} "
+            f"the {backend} backend is single-process; topology {topo} "
             "needs backend='simmpi' or 'procmpi'")
     tracer = Tracer(pid=0, label="driver") if trace else NULL_TRACER
     with tracer.span("solve", cat="solve", backend=backend,
@@ -147,6 +154,14 @@ def solve(
         if backend == "shared":
             result = run_pipelined(grid, field, config, stencil=stencil,
                                    validate=runtime_validate, tracer=tracer)
+        elif backend == "threads":
+            # run_threaded re-runs assert_legal itself, unconditionally —
+            # real threads never launch on an uncertified schedule, no
+            # matter what ``validate`` says.
+            from .threads import run_threaded
+
+            result = run_threaded(grid, field, config, stencil=stencil,
+                                  validate=runtime_validate, tracer=tracer)
         else:
             # Imported lazily, mirroring the top-level re-exports: the
             # shared backend must work even where the distributed rail

@@ -200,16 +200,23 @@ class PipelineExecutor:
         box = self.active_fn(level)
         return box.intersect(self.grid.domain)
 
-    def _execute_block(self, pass_idx: int, stage: int, traversal_idx: int) -> None:
+    def _execute_block(self, pass_idx: int, stage: int, traversal_idx: int,
+                       stats: Optional[ExecutionStats] = None) -> None:
+        # ``stats`` lets a caller isolate the counter sink per stage: the
+        # threaded executor hands every stage thread its own
+        # ExecutionStats (merged after the join), because concurrent
+        # ``+=`` on one shared object loses updates.  The simulated rail
+        # keeps the default — its single thread owns ``self.stats``.
+        stats = self.stats if stats is None else stats
         cfg = self.config
         base = pass_idx * cfg.updates_per_pass
         # Compressed grid: odd passes unwind the storage shift, which
         # requires the reversed ("mirror") traversal — the paper's reverse
         # loops on even sweeps.  Two-grid passes are direction-agnostic.
         mirror = (pass_idx % 2 == 1) and isinstance(self.storage, CompressedStorage)
-        self.stats.block_ops += 1
-        if self.stats.trace is not None:
-            self.stats.trace.append((pass_idx, stage, traversal_idx))
+        stats.block_ops += 1
+        if stats.trace is not None:
+            stats.trace.append((pass_idx, stage, traversal_idx))
         any_work = False
         with self.tracer.span("block", cat="core", tid=stage + 1,
                               stage=stage, idx=traversal_idx):
@@ -220,16 +227,18 @@ class PipelineExecutor:
                 if region.is_empty:
                     continue
                 any_work = True
-                self._apply_update(region, level, stage)
-        self.stats.per_stage_blocks[stage] += 1
+                self._apply_update(region, level, stage, stats=stats)
+        stats.per_stage_blocks[stage] += 1
         if not any_work:
-            self.stats.empty_block_ops += 1
+            stats.empty_block_ops += 1
 
-    def _apply_update(self, region: Box, level: int, stage: int = 0) -> None:
+    def _apply_update(self, region: Box, level: int, stage: int = 0,
+                      stats: Optional[ExecutionStats] = None) -> None:
+        stats = self.stats if stats is None else stats
         with self.tracer.span("apply", cat="engine", tid=stage + 1,
                               engine=self.engine.name,
                               semantics=self.engine.semantics,
                               cells=region.ncells):
             self.engine.apply(self.stencil, self.storage, region, level)
-        self.stats.updates += 1
-        self.stats.cells_updated += region.ncells
+        stats.updates += 1
+        stats.cells_updated += region.ncells

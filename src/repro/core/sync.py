@@ -17,12 +17,13 @@ its updated value by means of the standard cache coherence mechanisms".
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence
+import threading
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 from .parameters import BarrierSpec, PipelineConfig, RelaxedSpec
 
 __all__ = ["SyncPolicy", "BarrierPolicy", "RelaxedPolicy", "make_policy",
-           "waiting_stages"]
+           "waiting_stages", "CounterBoard", "SyncAborted", "SyncWaitTimeout"]
 
 
 class SyncPolicy(Protocol):
@@ -149,3 +150,154 @@ def make_policy(config: PipelineConfig) -> SyncPolicy:
     if isinstance(config.sync, RelaxedSpec):
         return RelaxedPolicy(config)
     raise TypeError(f"unknown sync spec {config.sync!r}")
+
+
+class SyncAborted(RuntimeError):
+    """A peer stage failed; this stage must unwind instead of waiting."""
+
+
+class SyncWaitTimeout(RuntimeError):
+    """A stage waited longer than the watchdog allows (stuck schedule)."""
+
+
+class CounterBoard:
+    """Thread-safe progress counters behind a condition variable.
+
+    This is the paper's volatile-counter protocol made real: one board
+    per pipeline pass, one counter per stage, readiness decided by the
+    same :class:`SyncPolicy` the simulated rail polls.  Where the
+    simulated executor *polls* readiness inside its single-threaded
+    scheduling loop (free there — the loop is the only runnable code),
+    real OS threads must **sleep**: a spinning wait burns a core per
+    blocked stage, and a naive "wake when my neighbor's counter
+    changes" scheme has a missed-wakeup bug around the drain waiver —
+    a stage can become ready because its predecessor *finished its
+    traversal* (the counter never moves again), so waking on counter
+    updates alone parks the successor forever.  Here every state
+    change — counter advance *and* traversal finish *and* abort — goes
+    through one :class:`threading.Condition` with ``notify_all``, and
+    waiters re-check the policy in a loop, which is also what makes
+    spurious wakeups harmless.
+
+    Observability is preserved: :attr:`blocked_polls` counts every
+    wakeup that found the window still shut (the threaded analogue of
+    the simulated rail's ``sync.blocked_polls``), and
+    :meth:`waiting_now` exposes the currently blocked stages through
+    the module-level :func:`waiting_stages` helper.
+
+    The board never decides *legality* — the threaded executor runs
+    only schedules certified by :func:`repro.analysis.assert_legal` —
+    but it still carries a watchdog timeout so a bug anywhere above it
+    surfaces as :class:`SyncWaitTimeout` instead of a hung process.
+    """
+
+    def __init__(self, policy: SyncPolicy, n_stages: int, n_blocks: int,
+                 timeout: Optional[float] = 120.0) -> None:
+        if n_stages < 1 or n_blocks < 0:
+            raise ValueError("need >= 1 stage and >= 0 blocks")
+        self.policy = policy
+        self.n_stages = n_stages
+        self.n_blocks = n_blocks
+        self.timeout = timeout
+        self._cond = threading.Condition()
+        self._counters = [0] * n_stages
+        self._finished = [False] * n_stages
+        self._blocked_polls = 0
+        self._drain_blocks = 0
+        self._max_gap = 0
+        self._failure: Optional[BaseException] = None
+
+    # -- the stage-thread protocol --------------------------------------------
+
+    def wait_ready(self, stage: int) -> None:
+        """Block until ``stage`` may start its next block (Eq. 3 window).
+
+        Raises :class:`SyncAborted` if a peer stage failed while we
+        waited and :class:`SyncWaitTimeout` if the watchdog fires.
+        """
+        with self._cond:
+            while True:
+                if self._failure is not None:
+                    raise SyncAborted(
+                        f"stage {stage}: a peer stage failed "
+                        f"({type(self._failure).__name__})")
+                if self.policy.ready(stage, self._counters, self._finished):
+                    return
+                self._blocked_polls += 1
+                if any(self._finished):
+                    self._drain_blocks += 1
+                if not self._cond.wait(self.timeout):
+                    self._failure = SyncWaitTimeout(
+                        f"stage {stage} waited > {self.timeout}s "
+                        f"(counters={self._counters}, "
+                        f"finished={self._finished})")
+                    self._cond.notify_all()
+                    raise self._failure
+
+    def advance(self, stage: int) -> int:
+        """Publish one completed block; wakes every waiter.
+
+        Marks the stage finished when its traversal completes — in the
+        same critical section, so the drain waiver becomes visible to
+        waiters atomically with the final counter update.
+        """
+        with self._cond:
+            self._counters[stage] += 1
+            value = self._counters[stage]
+            if value >= self.n_blocks:
+                self._finished[stage] = True
+            gap = max(self._counters) - min(self._counters)
+            if gap > self._max_gap:
+                self._max_gap = gap
+            self._cond.notify_all()
+            return value
+
+    def abort(self, exc: BaseException) -> None:
+        """Record the first failure and wake every waiter to unwind."""
+        with self._cond:
+            if self._failure is None or isinstance(self._failure, SyncAborted):
+                if not isinstance(exc, SyncAborted):
+                    self._failure = exc
+                elif self._failure is None:
+                    self._failure = exc
+            self._cond.notify_all()
+
+    # -- observers ------------------------------------------------------------
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        with self._cond:
+            return self._failure
+
+    @property
+    def blocked_polls(self) -> int:
+        """Wakeups that re-checked the window and found it still shut."""
+        with self._cond:
+            return self._blocked_polls
+
+    @property
+    def drain_blocks(self) -> int:
+        """Blocked re-checks that happened while some stage had finished."""
+        with self._cond:
+            return self._drain_blocks
+
+    @property
+    def max_counter_gap(self) -> int:
+        """Largest ``max(c) - min(c)`` observed at any advance."""
+        with self._cond:
+            return self._max_gap
+
+    def snapshot(self) -> Tuple[List[int], List[bool]]:
+        """Consistent copy of (counters, finished) for diagnostics."""
+        with self._cond:
+            return list(self._counters), list(self._finished)
+
+    def waiting_now(self) -> List[int]:
+        """Stages the window blocks at this instant (obs view)."""
+        with self._cond:
+            return waiting_stages(self.policy, self._counters, self._finished)
+
+    @property
+    def done(self) -> bool:
+        with self._cond:
+            return all(self._finished)

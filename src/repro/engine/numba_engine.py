@@ -16,10 +16,25 @@ offset in canonical order, centre term last — in the field dtype, with
 allowed.  The region gathers (with their Dirichlet patching and
 storage validation) stay on the storage scheme; only the arithmetic is
 compiled.
+
+Each fused loop exists in two compiled flavours with the identical
+per-cell operation sequence (so they are bit-identical to each other
+and to numpy):
+
+* ``parallel=True`` — numba's OpenMP-style ``prange``, used when the
+  call comes from the **main** thread (the classic single-driver case);
+* serial ``nogil=True`` — used when the call comes from any **other**
+  thread, i.e. a ``backend="threads"`` stage.  Numba's default
+  workqueue threading layer must not be entered concurrently from
+  multiple Python threads, and nested parallelism would oversubscribe
+  anyway — one pipeline stage per core is the paper's own placement.
+  ``nogil`` releases the GIL for the whole compiled sweep, which is
+  what lets the threaded rail overlap stages on stock CPython.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -39,8 +54,7 @@ except ImportError:  # the supported default environment
 
 if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
 
-    @numba.njit(parallel=True, fastmath=False)
-    def _fused_terms(out, stacked, weights, center, cw, has_center):
+    def _fused_terms_impl(out, stacked, weights, center, cw, has_center):
         """out[c] = sum_k w[k]*stacked[k, c] (+ cw*center[c]), per cell.
 
         ``weights``/``cw`` are pre-cast to the field dtype so every
@@ -59,9 +73,8 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
                         acc = acc + cw * center[i, j, k]
                     out[i, j, k] = acc
 
-    @numba.njit(parallel=True, fastmath=False)
-    def _fused_padded(src, dst, offsets, weights, cw, has_center,
-                      z0, z1, y0, y1, x0, x1):
+    def _fused_padded_impl(src, dst, offsets, weights, cw, has_center,
+                           z0, z1, y0, y1, x0, x1):
         """Padded-pair sweep: direct offset reads, no gather arrays."""
         K = offsets.shape[0]
         for i in numba.prange(z1 - z0):
@@ -77,6 +90,22 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
                     if has_center:
                         acc = acc + cw * src[1 + z, 1 + y, 1 + x]
                     dst[1 + z, 1 + y, 1 + x] = acc
+
+    # One source, two compilations: with parallel=False numba lowers
+    # ``prange`` to a plain ``range``, so both flavours execute the
+    # same per-cell operation sequence and remain bit-identical.
+    _fused_terms = numba.njit(parallel=True, fastmath=False)(
+        _fused_terms_impl)
+    _fused_terms_nogil = numba.njit(nogil=True, fastmath=False)(
+        _fused_terms_impl)
+    _fused_padded = numba.njit(parallel=True, fastmath=False)(
+        _fused_padded_impl)
+    _fused_padded_nogil = numba.njit(nogil=True, fastmath=False)(
+        _fused_padded_impl)
+
+
+def _on_main_thread() -> bool:
+    return threading.current_thread() is threading.main_thread()
 
 
 class NumbaEngine(Engine):
@@ -109,9 +138,14 @@ class NumbaEngine(Engine):
             stacked = np.zeros((0,) + region.shape, dtype=dtype)
         weights = np.asarray([w for _, w in terms], dtype=dtype)
         out = np.zeros(region.shape, dtype=dtype)
-        _fused_terms(out, stacked, weights,
-                     np.ascontiguousarray(center), dtype.type(cw),
-                     cw != 0.0)
+        # Off the main thread (a backend="threads" stage) take the
+        # serial nogil flavour: numba's workqueue threading layer is
+        # not safe for concurrent entry, and the GIL-free sweep is
+        # what overlaps the stages.
+        fused = _fused_terms if _on_main_thread() else _fused_terms_nogil
+        fused(out, stacked, weights,
+              np.ascontiguousarray(center), dtype.type(cw),
+              cw != 0.0)
         storage.write(region, level, out)
 
     def apply_padded(self, stencil, src: np.ndarray, dst: np.ndarray,
@@ -131,5 +165,6 @@ class NumbaEngine(Engine):
         weights = np.asarray([w for _, w in terms], dtype=dtype)
         # Zero the target region first: the typed accumulator reads it.
         dst[1 + z0:1 + z1, 1 + y0:1 + y1, 1 + x0:1 + x1] = 0
-        _fused_padded(src, dst, offsets, weights, dtype.type(cw),
-                      cw != 0.0, z0, z1, y0, y1, x0, x1)
+        fused = _fused_padded if _on_main_thread() else _fused_padded_nogil
+        fused(src, dst, offsets, weights, dtype.type(cw),
+              cw != 0.0, z0, z1, y0, y1, x0, x1)

@@ -163,12 +163,37 @@ class _Span:
         return False
 
 
+class _ThreadBuffer:
+    """One thread's private span/counter sink inside a shared tracer."""
+
+    __slots__ = ("records", "counters")
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+
+
 class Tracer:
     """Collects spans, monotonic counters and gauges for one process.
 
-    Thread-safe: the simmpi transport runs one rank per thread against
-    per-rank tracers, but the serving layer's worker threads may share
-    one.  Disabled tracers (``enabled=False``) are permanent no-ops —
+    Thread-safe *and* contention-free on the hot path: the simmpi
+    transport runs one rank per thread against per-rank tracers, the
+    serving layer's worker threads may share one, and the
+    ``backend="threads"`` executor has every pipeline stage recording
+    into the **same** tracer concurrently.  Span records and counter
+    bumps therefore go to per-thread buffers (``threading.local``),
+    registered once per thread under the lock and merged by
+    :meth:`finish` — a shared list behind one lock would serialise the
+    stage threads on exactly the code that is supposed to measure their
+    overlap, and unlocked sharing loses updates.  Within a thread the
+    buffer preserves completion order, so single-threaded traces are
+    byte-for-byte what the shared-list implementation produced.
+
+    Gauges, process labels and :meth:`absorb` stay under the lock —
+    they are rare, and gauges are last-write-wins so per-thread
+    accumulation has no meaning for them.
+
+    Disabled tracers (``enabled=False``) are permanent no-ops —
     :data:`NULL_TRACER` is the shared instance every instrumented code
     path defaults to, so hot loops carry exactly one attribute load and
     one branch when tracing is off.
@@ -178,13 +203,15 @@ class Tracer:
                  label: Optional[str] = None) -> None:
         self.pid = pid
         self.enabled = enabled
-        self._records: List[SpanRecord] = []
-        self._counters: Dict[str, float] = {}
+        self._records: List[SpanRecord] = []  # absorbed child spans only
+        self._counters: Dict[str, float] = {}  # absorbed child counters only
         self._gauges: Dict[str, float] = {}
         self._processes: Dict[int, str] = {}
         if label is not None:
             self._processes[pid] = label
         self._lock = threading.Lock()
+        self._local = threading.local()
+        self._buffers: List[_ThreadBuffer] = []  # registration order
 
     # -- hot path ---------------------------------------------------------------
 
@@ -201,8 +228,8 @@ class Tracer:
         """Bump a monotonic counter (no-op when disabled)."""
         if not self.enabled:
             return
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + n
+        counters = self._buffer().counters
+        counters[name] = counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
         """Set a point-in-time gauge (no-op when disabled)."""
@@ -213,9 +240,23 @@ class Tracer:
 
     # -- assembly ---------------------------------------------------------------
 
+    def _buffer(self) -> _ThreadBuffer:
+        """This thread's private buffer, registered on first use.
+
+        The buffer outlives its thread — the registry list keeps the
+        reference, so :meth:`finish` still sees spans recorded by stage
+        threads that have already been joined.
+        """
+        buf = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = _ThreadBuffer()
+            self._local.buf = buf
+            with self._lock:
+                self._buffers.append(buf)
+        return buf
+
     def _record(self, record: SpanRecord) -> None:
-        with self._lock:
-            self._records.append(record)
+        self._buffer().records.append(record)
 
     def label_process(self, pid: int, label: str) -> None:
         """Name a pid row for the Chrome exporter's metadata events."""
@@ -246,10 +287,23 @@ class Tracer:
             self._processes[pid] = label if label is not None else f"pid {pid}"
 
     def finish(self) -> Trace:
-        """Snapshot everything recorded so far into a picklable Trace."""
+        """Snapshot everything recorded so far into a picklable Trace.
+
+        Merges the per-thread buffers (in thread-registration order,
+        each preserving its thread's completion order) after the
+        absorbed child-process spans.  Non-destructive and idempotent:
+        buffers are read, never cleared, so a second ``finish`` returns
+        a superset snapshot, as before.
+        """
         with self._lock:
-            return Trace(spans=list(self._records),
-                         counters=dict(self._counters),
+            spans = list(self._records)
+            counters = dict(self._counters)
+            for buf in self._buffers:
+                spans.extend(buf.records)
+                for k, v in buf.counters.items():
+                    counters[k] = counters.get(k, 0) + v
+            return Trace(spans=spans,
+                         counters=counters,
                          gauges=dict(self._gauges),
                          processes=dict(self._processes))
 

@@ -435,6 +435,7 @@ def solver_schedules(suite: str):
     shape = (n, n, n)
     _, _, cfg, _ = _solver_problem(suite)
     yield f"solve_shared@{suite}", shape, cfg, (1, 1, 1)
+    yield f"solve_threads@{suite}", shape, cfg, (1, 1, 1)
     yield f"solve_simmpi@{suite}", shape, cfg, topo
     yield f"solve_procmpi@{suite}", shape, cfg, topo
     engine_points = [
@@ -446,9 +447,10 @@ def solver_schedules(suite: str):
     import importlib.util
     if importlib.util.find_spec("numba") is not None:
         engine_points.append(("numba", "shared", "twogrid"))
+        engine_points.append(("numba", "threads", "twogrid"))
     for engine_, backend_, storage_ in engine_points:
         ecfg = replace(cfg, engine=engine_, storage=storage_)
-        etopo = (1, 1, 1) if backend_ == "shared" else topo
+        etopo = (1, 1, 1) if backend_ in ("shared", "threads") else topo
         yield f"solve_{backend_}_{engine_}@{suite}", shape, ecfg, etopo
     sn, stopo, _jobs = SERVE_SIZES[suite]
     sgrid, scfg = _serve_problem(sn)
@@ -568,6 +570,27 @@ def _register_solvers() -> None:
                         "ranks (shared-memory halos)",
         ))
 
+        def solve_threads(_suite=suite):
+            from ..api import solve
+            grid, field_, cfg, _ = _solver_problem(_suite)
+            return solve(grid, field_, cfg, backend="threads",
+                         validate=False)
+
+        register(Scenario(
+            name=f"solve_threads@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=solve_threads,
+            summarize=_sum_solve,
+            params={**base_params, "backend": "threads",
+                    "validate": False},
+            description="Truly threaded pipelined executor: one OS "
+                        "thread per stage on condition-variable sync "
+                        "counters (assert_legal always runs first); "
+                        "bit-identical to solve_shared, wall-clock "
+                        "parallel wherever the engine releases the GIL",
+        ))
+
         def solve_traced(_suite=suite):
             from ..api import solve
             grid, field_, cfg, topo_ = _solver_problem(_suite)
@@ -605,6 +628,13 @@ def _register_solvers() -> None:
         import importlib.util
         if importlib.util.find_spec("numba") is not None:
             engine_points.append(("numba", "shared", "twogrid"))
+            # The headline pairing of this repo's threaded rail: real
+            # stage threads and a compiled nogil kernel.  Its gated
+            # counters must equal the shared numba scenario's exactly;
+            # the wall-clock ratio to solve_shared is the paper-style
+            # speedup (asserted >1x only on multicore hosts — see
+            # tests/test_threads.py).
+            engine_points.append(("numba", "threads", "twogrid"))
         for engine_, backend_, storage_ in engine_points:
 
             def solve_engine(_suite=suite, _engine=engine_,
@@ -617,6 +647,9 @@ def _register_solvers() -> None:
                 cfg = replace(cfg, engine=_engine, storage=_storage)
                 if _backend == "shared":
                     return run_pipelined(grid, field_, cfg, validate=False)
+                if _backend == "threads":
+                    return solve(grid, field_, cfg, backend="threads",
+                                 validate=False)
                 return solve(grid, field_, cfg, topology=topo_,
                              backend=_backend)
 

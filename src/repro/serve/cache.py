@@ -101,7 +101,11 @@ class ResultCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._count("hits")
-                return _clone(entry)
+        if entry is not None:
+            # Clone outside the lock: the stored entry is never mutated
+            # (puts store their own clones, gets hand out clones), so
+            # concurrent hitters need not serialise on the array copy.
+            return _clone(entry)
         path = self._disk_path(key)
         if path is not None and path.is_file():
             try:

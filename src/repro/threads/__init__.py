@@ -1,0 +1,15 @@
+"""repro.threads — the pipelined scheme on real OS threads.
+
+The third shared-memory rail: same grids, same counter-window policies
+(Eq. 3), same bit-identical results as the simulated ``shared`` backend
+— but each pipeline stage is a live ``threading.Thread`` blocking on a
+condition-variable-backed :class:`repro.core.sync.CounterBoard` instead
+of being stepped cooperatively by a scheduling loop.  Reached through
+``repro.solve(..., backend="threads")`` or directly via
+:func:`run_threaded`; every entry certifies the schedule with
+:func:`repro.analysis.assert_legal` before any thread starts.
+"""
+
+from .executor import ThreadedPipelineExecutor, run_threaded
+
+__all__ = ["ThreadedPipelineExecutor", "run_threaded"]

@@ -122,7 +122,7 @@ class TestErrorPaths:
             solve(grid, field, cfg, backend="mpi")
 
     def test_backends_constant(self):
-        assert set(BACKENDS) == {"shared", "simmpi", "procmpi"}
+        assert set(BACKENDS) == {"shared", "threads", "simmpi", "procmpi"}
 
     def test_unknown_transport_at_solver_level(self):
         grid, field, _ = small_problem()
