@@ -34,6 +34,13 @@ cannot know:
   :class:`~repro.core.sync.CounterBoard` exists to fix (a stage can
   become ready because its predecessor *finished* — no further counter
   update will ever arrive), so the pattern is banned mechanically.
+* **no-naked-perf-counter** — serving/observability code must not call
+  ``time.perf_counter()`` directly: timings there either belong to a
+  tracer span or to the monitor's injectable clock, and a naked reading
+  is invisible to both (it can't be replayed deterministically and
+  never shows up in a histogram).  Only the two clock primitives —
+  ``obs/tracer.py`` and ``obs/monitor/sampling.py`` — may touch the
+  raw counter.
 """
 
 from __future__ import annotations
@@ -404,6 +411,46 @@ def check_cond_wait_loop(path: str, tree: ast.Module,
                if node.lineno <= len(lines) else "")
 
 
+#: The raw-clock primitives: the only serve/obs files allowed to read
+#: time.perf_counter() directly (everything else goes through them).
+_CLOCK_PRIMITIVES = {("obs", "tracer.py"), ("monitor", "sampling.py")}
+
+
+def check_no_naked_perf_counter(path: str, tree: ast.Module,
+                                lines: Sequence[str]) -> Iterator[Issue]:
+    """Serve/obs timings must flow through spans or the monitor clock.
+
+    Flags direct ``time.perf_counter()`` / ``perf_counter_ns()`` calls
+    in :mod:`repro.serve` and :mod:`repro.obs` modules.  A naked
+    reading there is a measurement neither the tracer nor the monitor
+    can see: it bypasses the injectable clock (so determinism tests
+    cannot replay it) and never lands in a histogram or trace.  The two
+    clock primitives themselves are allowlisted.
+    """
+    p = Path(path)
+    in_scope = (p.parent.name in ("serve", "obs")
+                or (p.parent.name == "monitor"
+                    and p.parent.parent.name == "obs"))
+    if not in_scope or (p.parent.name, p.name) in _CLOCK_PRIMITIVES:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fname = None
+        if isinstance(node.func, ast.Name):
+            fname = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            fname = node.func.attr
+        if fname in ("perf_counter", "perf_counter_ns"):
+            yield ("no-naked-perf-counter", node.lineno,
+                   f"direct {fname}() in serving/observability code: time "
+                   "through a tracer span or the monitor's injectable "
+                   "clock (repro.obs.monitor.monotime) so the reading is "
+                   "replayable and lands in the histograms",
+                   lines[node.lineno - 1].strip()
+                   if node.lineno <= len(lines) else "")
+
+
 #: The rule set, in report order.
 CHECKERS: Tuple[Checker, ...] = (
     check_dead_imports,
@@ -414,6 +461,7 @@ CHECKERS: Tuple[Checker, ...] = (
     check_engine_contract,
     check_span_pairing,
     check_cond_wait_loop,
+    check_no_naked_perf_counter,
 )
 
 

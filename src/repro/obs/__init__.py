@@ -3,7 +3,7 @@
 The observability layer the paper implicitly assumes: the argument of
 pipelined temporal blocking is about *where time goes* (sync-window
 waits, halo exchange, in-cache block updates), so the runtime must be
-able to show exactly that.  Three pieces:
+able to show exactly that.  Four pieces:
 
 * **Tracer** (:mod:`repro.obs.tracer`) — nestable spans plus monotonic
   counters and gauges, a no-op behind a guard variable when disabled
@@ -24,6 +24,11 @@ able to show exactly that.  Three pieces:
   (:mod:`repro.obs.differential`) compares traced per-stage occupancy
   against the calibrated DES prediction — the first step of ROADMAP's
   "turn the DES on ourselves".
+* **Monitor** (:mod:`repro.obs.monitor`) — the *live* half: bounded
+  registry sampling, deterministic SLO histograms, a flight recorder of
+  recent job traces, straggler detection differential-tested against
+  the DES limplock prediction, and OpenMetrics/health exporters wired
+  through :class:`repro.serve.Service`.
 
 Typical use::
 
@@ -41,6 +46,19 @@ from .export import (
     write_chrome_trace,
 )
 from .metrics import stage_busy, stage_occupancy, trace_metrics
+from .monitor import (
+    FixedHistogram,
+    FlightRecord,
+    FlightRecorder,
+    Monitor,
+    StragglerDetector,
+    StragglerPolicy,
+    WorkerScore,
+    predict_detection_latency,
+    predict_limplock_ratio,
+    to_openmetrics,
+    validate_openmetrics,
+)
 from .registry import REGISTRY, MetricsRegistry
 from .tracer import (
     NULL_SPAN,
@@ -69,4 +87,15 @@ __all__ = [
     "span_coverage",
     "StageComparison",
     "compare_stage_occupancy",
+    "Monitor",
+    "FixedHistogram",
+    "FlightRecord",
+    "FlightRecorder",
+    "StragglerDetector",
+    "StragglerPolicy",
+    "WorkerScore",
+    "predict_limplock_ratio",
+    "predict_detection_latency",
+    "to_openmetrics",
+    "validate_openmetrics",
 ]

@@ -795,7 +795,97 @@ def _register_serve() -> None:
         ))
 
 
+def _sum_serve_monitor(payload, wall: float) -> Dict[str, Metric]:
+    # Gated metrics are all deterministic event counters: the monitor is
+    # driven manually (explicit sample() calls) on a workers=0 drain, so
+    # sample/observation/recording totals are exact for the job stream.
+    return {
+        "monitor_samples": Metric(float(payload["samples"]), unit="samples"),
+        "monitor_observations": Metric(float(payload["observations"]),
+                                       unit="obs"),
+        "wall_observations": Metric(float(payload["wall_count"]), unit="obs"),
+        "queue_observations": Metric(float(payload["queue_count"]),
+                                     unit="obs"),
+        "recorded_traces": Metric(float(payload["recorded"]), unit="traces"),
+        "backend_solves": Metric(float(payload["backend_solves"]),
+                                 unit="solves", higher_is_better=False),
+        "openmetrics_valid": Metric(float(payload["om_valid"]), unit="bool"),
+        # Host-clock monitoring overhead (monitored / plain - 1): noisy,
+        # so never gated here — the perf-marked test in test_monitor.py
+        # owns the <=5% assertion with min-of-N repetitions.
+        "overhead_frac": Metric(payload["overhead_frac"], unit="frac",
+                                gate=False, higher_is_better=False),
+        "jobs_per_s": Metric(ratio(payload["jobs"], wall), unit="jobs/s",
+                             gate=False),
+    }
+
+
+def _register_monitor() -> None:
+    for suite in SUITES:
+        n, _topo, jobs = SERVE_SIZES[suite]
+
+        def serve_monitored(_n=n, _jobs=jobs):
+            import time
+
+            import numpy as np
+
+            from ..grid import random_field
+            from ..obs.monitor import validate_openmetrics
+            from ..serve import Service
+
+            grid, cfg = _serve_problem(_n)
+            fields = [random_field(grid.shape, np.random.default_rng(i))
+                      for i in range(_jobs)]
+
+            def run(**kwargs):
+                t0 = time.perf_counter()
+                with Service(workers=0, cache=False, **kwargs) as svc:
+                    futs = [svc.submit(grid, f, cfg) for f in fields]
+                    svc.drain()
+                    for fut in futs:
+                        fut.result(timeout=0)
+                return svc, time.perf_counter() - t0
+
+            _, wall_plain = run()
+            _, wall_mon = run(monitor=True)
+            svc, _ = run(monitor=True, record_traces=4)
+            mon = svc.monitor
+            for _ in range(3):
+                mon.sample()
+            exposition = mon.openmetrics()
+            wall_hist = mon.histogram("serve.solve_wall")
+            queue_hist = mon.histogram("serve.queue_wait")
+            return {
+                "jobs": _jobs,
+                "samples": mon.samples,
+                "observations": mon.observations,
+                "wall_count": wall_hist.count,
+                "queue_count": queue_hist.count,
+                "recorded": (mon.recorder.recorded
+                             if mon.recorder is not None else 0),
+                "backend_solves": svc.stats.backend_solves,
+                "om_valid": int(not validate_openmetrics(exposition)),
+                "overhead_frac": max(0.0, wall_mon / wall_plain - 1.0),
+            }
+
+        register(Scenario(
+            name=f"solve_monitored@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=serve_monitored,
+            summarize=_sum_serve_monitor,
+            params={"n": n, "jobs": jobs, "backend": "shared",
+                    "workers": 0, "monitor": True, "record_traces": 4,
+                    "samples": 3},
+            description="Monitored serving: SLO histograms, flight "
+                        "recorder and OpenMetrics export on a "
+                        "deterministic drain (counter-gated; overhead "
+                        "reported ungated)",
+        ))
+
+
 _register_figures()
 _register_kernels()
 _register_solvers()
 _register_serve()
+_register_monitor()

@@ -70,6 +70,11 @@ class ResultCache:
         _obs.inc(f"serve.cache.{name}", n)
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        """This cache's live obs registry (a monitor-attachable source)."""
+        return self._metrics
+
+    @property
     def hits(self) -> int:
         return int(self._metrics.counter("hits"))
 

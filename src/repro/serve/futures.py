@@ -1,8 +1,9 @@
 """Futures for the solve service.
 
 :class:`SolveFuture` is deliberately smaller than
-:class:`concurrent.futures.Future`: the service is the only producer,
-so there is no set-result race to arbitrate, and consumers get exactly
+:class:`concurrent.futures.Future`: the service owns the producer side
+(settling is first-completion-wins, which is all the arbitration
+speculative re-execution needs), and consumers get exactly
 the four things they need — block on :meth:`result`, inspect
 :meth:`exception`, poll :meth:`done`, and :meth:`cancel` a job that has
 not started.  Two flags carry the service's provenance: ``cache_hit``
@@ -42,6 +43,7 @@ class SolveFuture:
         self._exception: Optional[BaseException] = None
         self._cancelled = False
         self._started = False
+        self._settled = False
 
     # -- producer side (service internals) ---------------------------------------
 
@@ -54,16 +56,22 @@ class SolveFuture:
             return True
 
     def _set_result(self, result: Any) -> None:
+        # First completion wins: speculative re-execution makes two
+        # producers legitimate (the stuck run and its duplicate), and
+        # both carry bit-identical results — whichever lands first
+        # settles the future, the loser is a silent no-op.
         with self._lock:
-            if self._cancelled:  # pragma: no cover - cancel/finish race
+            if self._cancelled or self._settled:
                 return
+            self._settled = True
             self._result = result
         self._event.set()
 
     def _set_exception(self, exc: BaseException) -> None:
         with self._lock:
-            if self._cancelled:  # pragma: no cover - cancel/finish race
+            if self._cancelled or self._settled:
                 return
+            self._settled = True
             self._exception = exc
         self._event.set()
 

@@ -14,15 +14,24 @@ keeps those alive between jobs:
 * at most ``max_sessions`` are kept warm; acquiring a new geometry when
   full evicts the least-recently-used idle session first.
 
-All counters (``created``, ``reused``, ``dropped``, ``evicted``) are
-deterministic for a fixed job sequence — the throughput acceptance test
-asserts pool amortisation on them, never on a wall clock.
+Every session carries a pool-assigned stable id (``session.sid``) —
+the identity straggler scores key on — and the pool is the policy
+surface the monitor drives: :meth:`quarantine` marks a repeatedly
+degraded session so it is closed instead of reused (idle ones
+immediately, checked-out ones at release).  Quarantine is one-way; the
+replacement for a quarantined session is simply the next cold start,
+which is how crash-only recovery already works.
+
+All counters (``created``, ``reused``, ``dropped``, ``evicted``,
+``quarantined``) are deterministic for a fixed job sequence — the
+throughput acceptance test asserts pool amortisation on them, never on
+a wall clock.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -46,10 +55,13 @@ class SessionPool:
         self._idle: List[ProcSolverSession] = []  # LRU order: oldest first
         self._lock = threading.Lock()
         self._closed = False
+        self._next_sid = 0
+        self._quarantine: Set[int] = set()
         self.created = 0
         self.reused = 0
         self.dropped = 0
         self.evicted = 0
+        self.quarantined = 0
 
     def acquire(self, job: SolveJob) -> ProcSolverSession:
         """An exclusive session able to run ``job`` (warm if possible)."""
@@ -82,13 +94,20 @@ class SessionPool:
                                     start_method=self.start_method,
                                     timeout=self.timeout)
         with self._lock:
+            session.sid = self._next_sid
+            self._next_sid += 1
             self.created += 1
         return session
 
     def release(self, session: ProcSolverSession,
                 broken: bool = False) -> None:
-        """Return a session to the warm set, or drop a broken one."""
-        if broken or session.closed:
+        """Return a session to the warm set, or drop a broken one.
+
+        A quarantined session never re-enters the warm set: it is
+        closed here, exactly like a broken one — the monitor's verdict
+        and a crash take the same recovery path.
+        """
+        if broken or session.closed or self.is_quarantined(session.sid):
             session.close()
             with self._lock:
                 self.dropped += 1
@@ -104,6 +123,49 @@ class SessionPool:
                     self.evicted += 1
         for s in evict:
             s.close()
+
+    # -- straggler policy hooks ---------------------------------------------
+
+    def quarantine(self, sid: int) -> bool:
+        """Bar session ``sid`` from further reuse; True if newly barred.
+
+        An idle session with that id is closed immediately; a
+        checked-out one finishes its current job and is closed at
+        :meth:`release` (its in-flight job is the speculative
+        re-execution candidate — the monitor handles that side).
+        """
+        close: List[ProcSolverSession] = []
+        with self._lock:
+            if self._closed or sid in self._quarantine:
+                return False
+            self._quarantine.add(sid)
+            self.quarantined += 1
+            keep: List[ProcSolverSession] = []
+            for session in self._idle:
+                (close if session.sid == sid else keep).append(session)
+            self._idle = keep
+            self.dropped += len(close)
+        for session in close:
+            session.close()
+        return True
+
+    def is_quarantined(self, sid: int) -> bool:
+        with self._lock:
+            return sid in self._quarantine
+
+    def info(self) -> Dict[str, object]:
+        """A JSON-able snapshot for ``Service.health()``."""
+        with self._lock:
+            return {
+                "max_sessions": self.max_sessions,
+                "idle": sorted(s.sid for s in self._idle),
+                "quarantined_sids": sorted(self._quarantine),
+                "created": self.created,
+                "reused": self.reused,
+                "dropped": self.dropped,
+                "evicted": self.evicted,
+                "quarantined": self.quarantined,
+            }
 
     def close(self) -> None:
         """Tear down every warm session (idempotent)."""

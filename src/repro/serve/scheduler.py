@@ -58,11 +58,24 @@ class Entry:
     ``futures`` grows when identical submissions are coalesced onto the
     in-flight entry; completion fans the one result (or exception) out
     to every waiter.
+
+    The timestamp/speculation fields are monitor bookkeeping (all
+    mutated under the service lock): ``t_queued``/``t_started`` feed the
+    queue-wait and service-time histograms; when the monitor re-queues a
+    stuck entry, ``speculated`` marks it, the *second* pop claims
+    ``spec_claimed`` (identifying itself as the duplicate execution) and
+    ``settled`` makes completion first-wins — the losing execution of a
+    speculated pair discards its (bit-identical) result.
     """
 
     job: SolveJob
     key: Optional[str]  # content key; None for uncacheable jobs
     futures: List[SolveFuture] = dc_field(default_factory=list)
+    t_queued: float = 0.0
+    t_started: float = 0.0
+    speculated: bool = False
+    spec_claimed: bool = False
+    settled: bool = False
 
 
 class JobQueue:

@@ -32,6 +32,19 @@ until :meth:`Service.drain` executes the queue on the calling thread —
 deterministic scheduling for tests and for callers that want batching
 without threads.
 
+Monitoring (``monitor=True``) attaches a
+:class:`~repro.obs.monitor.Monitor`: the service's and cache's
+registries are sampled into bounded rings, every completed job feeds
+the ``serve.queue_wait`` / ``serve.solve_wall`` SLO histograms and the
+straggler detector, and a probe (run at each sample) refreshes gauges,
+**quarantines** sessions the detector flags and **speculatively
+re-queues** jobs stuck past the detector's deadline.  Speculation is
+safe because backends are bit-identical: the duplicate execution races
+the stuck one and settling is first-completion-wins
+(:class:`~repro.serve.scheduler.Entry` carries the arbitration state;
+only cacheable — content-keyed — jobs participate).
+:meth:`Service.health` exposes the whole picture as one JSON-able dict.
+
 The module-level :func:`submit` / :func:`map_jobs` operate on a shared
 default service (built on first use, reconfigurable via
 :func:`configure`, closed atexit); they are what ``repro.submit`` and
@@ -41,10 +54,11 @@ default service (built on first use, reconfigurable via
 from __future__ import annotations
 
 import atexit
+import math
 import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,7 +67,9 @@ from ..core.pipeline import SolveResult
 from ..grid.grid3d import Grid3D
 from ..kernels.stencils import StarStencil
 from ..machine.topology import MachineSpec
+from ..obs.monitor import Monitor, StragglerPolicy
 from ..obs.registry import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Trace, Tracer
 from .autoconf import auto_config
 from .cache import ResultCache
 from .futures import SolveFuture, wait_all
@@ -61,8 +77,13 @@ from .job import SolveJob
 from .pool import SessionPool
 from .scheduler import Entry, JobQueue
 
-__all__ = ["ServiceStats", "Service", "default_service", "configure",
-           "submit", "map_jobs", "shutdown"]
+__all__ = ["ServiceStats", "Service", "WALL_HISTOGRAM", "QUEUE_HISTOGRAM",
+           "default_service", "configure", "submit", "map_jobs", "shutdown"]
+
+#: SLO histogram names the service records under (fixed, so dashboards
+#: and the perf gates address them stably).
+WALL_HISTOGRAM = "serve.solve_wall"
+QUEUE_HISTOGRAM = "serve.queue_wait"
 
 
 @dataclass(frozen=True)
@@ -97,6 +118,16 @@ class ServiceStats:
     sessions_created: int = 0
     sessions_reused: int = 0
     sessions_dropped: int = 0
+    #: Sessions the monitor's straggler verdict barred from reuse.
+    sessions_quarantined: int = 0
+    # Speculative re-execution (monitor-driven; zero without a monitor).
+    #: Stuck jobs re-queued for duplicate execution.
+    speculated: int = 0
+    #: Entries settled by the *duplicate* execution.
+    speculation_wins: int = 0
+    #: Completions (results or errors) discarded because the entry was
+    #: already settled by the other execution of a speculated pair.
+    speculation_discarded: int = 0
     # Deltas of the global deterministic setup counters over this
     # service's lifetime.
     process_spawns: int = 0
@@ -108,6 +139,14 @@ def _setup_counters() -> Dict[str, int]:
     from ..dist.shm import segment_creates
 
     return {"spawns": process_spawns(), "segments": segment_creates()}
+
+
+def _finite(x: Optional[float]) -> Optional[float]:
+    """JSON-strict: non-finite floats become None."""
+    if x is None:
+        return None
+    x = float(x)
+    return x if math.isfinite(x) else None
 
 
 class Service:
@@ -135,6 +174,22 @@ class Service:
         Batch formation knobs (see :class:`~repro.serve.scheduler.JobQueue`).
     start_method, comm_timeout:
         Forwarded to the procmpi sessions.
+    monitor:
+        ``True`` to attach a fresh :class:`~repro.obs.monitor.Monitor`,
+        or a ready instance to share/inject (e.g. one with a
+        deterministic clock).  Passing ``record_traces`` or
+        ``straggler`` enables monitoring implicitly.
+    monitor_interval:
+        When set, a daemon thread samples the monitor every that many
+        seconds; otherwise sampling is manual (``svc.monitor.sample()``)
+        — the deterministic mode tests drive.
+    record_traces:
+        Flight-recorder ring size: keep the merged traces of the last N
+        backend executions (0 = off; tracing stays off per job unless
+        recording is on).
+    straggler:
+        Detection/quarantine/speculation policy (defaults to
+        :class:`~repro.obs.monitor.StragglerPolicy`).
     """
 
     def __init__(self, workers: int = 2,
@@ -146,7 +201,11 @@ class Service:
                  batch_limit: int = 8,
                  batch_bytes: int = 4 << 20,
                  start_method: Optional[str] = None,
-                 comm_timeout: Optional[float] = None) -> None:
+                 comm_timeout: Optional[float] = None,
+                 monitor: Union[bool, Monitor] = False,
+                 monitor_interval: Optional[float] = None,
+                 record_traces: int = 0,
+                 straggler: Optional[StragglerPolicy] = None) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.machine = machine
@@ -171,12 +230,29 @@ class Service:
         self._inflight: Dict[str, Entry] = {}
         self._baseline = _setup_counters()
         self._closed = False
+        self._monitor: Optional[Monitor] = None
+        if monitor or record_traces > 0 or straggler is not None:
+            mon = (monitor if isinstance(monitor, Monitor)
+                   else Monitor(record_traces=record_traces,
+                                policy=straggler))
+            mon.attach("service", self._metrics)
+            if self._cache is not None:
+                mon.attach("cache", self._cache.metrics)
+            mon.add_probe(self._monitor_probe)
+            # Pre-create the SLO histograms so exports are stable even
+            # before the first job completes.
+            mon.histogram(WALL_HISTOGRAM)
+            mon.histogram(QUEUE_HISTOGRAM)
+            self._monitor = mon
+        # Monitor before workers: _run_entry reads self._monitor.
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"serve-worker-{i}", daemon=True)
             for i in range(workers)]
         for t in self._workers:
             t.start()
+        if self._monitor is not None and monitor_interval is not None:
+            self._monitor.start(monitor_interval)
 
     # -- submission --------------------------------------------------------------
 
@@ -188,6 +264,11 @@ class Service:
     def metrics(self) -> MetricsRegistry:
         """The service's live obs registry (counters and gauges)."""
         return self._metrics
+
+    @property
+    def monitor(self) -> Optional[Monitor]:
+        """The attached live monitor, if monitoring is enabled."""
+        return self._monitor
 
     @property
     def closed(self) -> bool:
@@ -238,6 +319,8 @@ class Service:
         # no longer in flight costs at most one redundant (and
         # bit-identical) recompute, never a wrong result.
         hit = self._cache.get(key) if key is not None else None
+        t_queued = (self._monitor.clock()
+                    if self._monitor is not None else 0.0)
         with self._lock:
             self._metrics.inc("submitted")
             if hit is not None:
@@ -251,7 +334,8 @@ class Service:
                         future.coalesced = True
                         inflight.futures.append(future)
                         return future
-                entry = Entry(job=job, key=key, futures=[future])
+                entry = Entry(job=job, key=key, futures=[future],
+                              t_queued=t_queued)
                 if key is not None:
                     self._inflight[key] = entry
         if hit is not None:
@@ -312,18 +396,47 @@ class Service:
         # Claim the waiters under the service lock — coalescing appends
         # to entry.futures under the same lock, so a future attached
         # concurrently is either claimed here or fanned out at
-        # completion; it can never be dropped.
+        # completion; it can never be dropped.  The same lock arbitrates
+        # speculated pairs: the second pop of a re-queued entry claims
+        # spec_claimed (identifying itself as the duplicate) and
+        # whichever execution settles the entry first wins — the loser
+        # discards its bit-identical result (or its error).
+        mon = self._monitor
+        t0 = mon.clock() if mon is not None else 0.0
+        spec_run = False
         with self._lock:
+            if entry.settled:
+                return
+            if entry.speculated and not entry.spec_claimed:
+                entry.spec_claimed = True
+                spec_run = True
+            else:
+                entry.t_started = t0
             live = [f for f in entry.futures if f._mark_started()]
             if not live:
+                entry.settled = True
                 if entry.key is not None:
                     self._inflight.pop(entry.key, None)
                 self._metrics.inc("cancelled", len(entry.futures))
                 return
+        if mon is not None and not spec_run and entry.t_queued > 0:
+            mon.observe(QUEUE_HISTOGRAM, max(0.0, t0 - entry.t_queued))
+        record = mon is not None and mon.recorder is not None
         try:
-            result = self._execute(entry.job)
+            result, worker, trace = self._execute(entry.job, record=record)
         except BaseException as exc:  # noqa: BLE001 — future carries it
             with self._lock:
+                if entry.settled:
+                    self._metrics.inc("speculation_discarded")
+                    return
+                if spec_run:
+                    # The duplicate failed while the stuck original is
+                    # still running — let the original decide the
+                    # entry's fate (speculation is latency insurance,
+                    # never a new failure mode).
+                    self._metrics.inc("speculation_failed")
+                    return
+                entry.settled = True
                 if entry.key is not None:
                     self._inflight.pop(entry.key, None)
                 self._metrics.inc("failed")
@@ -331,6 +444,18 @@ class Service:
             for f in waiters:
                 f._set_exception(exc)
         else:
+            if mon is not None:
+                service_s = mon.clock() - t0
+                mon.observe(WALL_HISTOGRAM, service_s)
+                # The loser of a speculated pair still contributes its
+                # (slow) observation — that is the signal that flags
+                # the limplocked worker.
+                mon.detector.observe(worker, service_s)
+                if record and trace is not None:
+                    mon.recorder.record(
+                        entry.job.describe(), trace, wall_s=service_s,
+                        worker=worker, key=entry.key,
+                        status="speculated" if spec_run else "ok")
             if entry.key is not None and self._cache is not None:
                 # Populate the cache before dropping the in-flight entry
                 # so a racing identical submit either coalesces or hits
@@ -339,6 +464,12 @@ class Service:
                 # may write real bytes.
                 self._cache.put(entry.key, result)
             with self._lock:
+                if entry.settled:
+                    self._metrics.inc("speculation_discarded")
+                    return
+                entry.settled = True
+                if spec_run:
+                    self._metrics.inc("speculation_wins")
                 if entry.key is not None:
                     self._inflight.pop(entry.key, None)
                 self._metrics.inc("completed")
@@ -346,26 +477,134 @@ class Service:
             for f in waiters:
                 f._set_result(result)
 
-    def _execute(self, job: SolveJob) -> SolveResult:
+    def _execute(self, job: SolveJob, record: bool = False,
+                 ) -> Tuple[SolveResult, str, Optional[Trace]]:
+        """Run ``job``; returns (result, worker label, optional trace).
+
+        The worker label is the straggler detector's identity:
+        ``session-<sid>`` for procmpi (the pool-assigned stable session
+        id — the unit quarantine acts on), ``backend-<name>`` for the
+        in-thread backends.
+        """
         self._metrics.inc("backend_solves")
         if job.backend == "procmpi":
+            tracer = Tracer(pid=0, label="serve") if record else NULL_TRACER
             session = self._sessions.acquire(job)
             try:
                 result = session.solve_pipelined(job.grid, job.field,
                                                  job.config,
-                                                 stencil=job.stencil)
+                                                 stencil=job.stencil,
+                                                 tracer=tracer)
             except BaseException:
                 # The session closed itself (crash-only); drop it and
                 # let the pool warm a fresh one for the next job.
                 self._sessions.release(session, broken=True)
                 raise
+            worker = f"session-{session.sid}"
             self._sessions.release(session)
-            return result
+            return result, worker, (tracer.finish() if record else None)
         from ..api import solve
 
-        return solve(job.grid, job.field, job.config,
-                     topology=job.topology, backend=job.backend,
-                     stencil=job.stencil)
+        result = solve(job.grid, job.field, job.config,
+                       topology=job.topology, backend=job.backend,
+                       stencil=job.stencil, trace=record)
+        return result, f"backend-{job.backend}", result.trace
+
+    # -- monitoring --------------------------------------------------------------
+
+    def _monitor_probe(self) -> None:
+        """Policy pass, run at the start of every monitor sample.
+
+        Refreshes the live gauges, quarantines sessions the straggler
+        detector has flagged, and speculatively re-queues in-flight jobs
+        stuck past the detection deadline.  Only content-keyed entries
+        are speculation candidates (they are the ones tracked in
+        ``_inflight``; bit-identical re-execution is exactly the cache
+        key's contract).
+        """
+        mon = self._monitor
+        if mon is None or self._closed:
+            return
+        self._metrics.set_gauge("queue_depth", len(self._queue))
+        with self._lock:
+            self._metrics.set_gauge("inflight", len(self._inflight))
+        for worker in mon.detector.degraded():
+            if worker.startswith("session-"):
+                sid = int(worker.split("-", 1)[1])
+                if self._sessions.quarantine(sid):
+                    self._metrics.inc("quarantined")
+        deadline = mon.detector.deadline()
+        if deadline is None:
+            return
+        now = mon.clock()
+        requeue: List[Entry] = []
+        with self._lock:
+            for entry in self._inflight.values():
+                if (entry.t_started > 0 and not entry.speculated
+                        and not entry.settled
+                        and now - entry.t_started > deadline):
+                    entry.speculated = True
+                    requeue.append(entry)
+        for entry in requeue:
+            try:
+                self._queue.push(entry)
+            except RuntimeError:  # closing — the drain will finish it
+                break
+            self._metrics.inc("speculated")
+
+    def health(self) -> Dict[str, Any]:
+        """One JSON-able dict of live service health.
+
+        Always available; the monitor-derived sections (histograms,
+        stragglers, monitor counters) are empty/None when monitoring is
+        off.  Every value is JSON-strict (no inf/NaN — they become
+        None), so the dict can be dumped straight into an HTTP health
+        endpoint or the ``python -m repro.obs top`` view.
+        """
+        snap = self._metrics.snapshot()
+        with self._lock:
+            inflight = len(self._inflight)
+        sessions = self._sessions.info()
+        mon = self._monitor
+        hists: Dict[str, Any] = {}
+        stragglers: List[Dict[str, Any]] = []
+        monitor_info: Optional[Dict[str, int]] = None
+        degraded: List[str] = []
+        if mon is not None:
+            hists = {h.name: h.snapshot() for h in mon.histograms()}
+            degraded = mon.detector.degraded()
+            stragglers = [{
+                "worker": s.worker,
+                "jobs": s.jobs,
+                "last_s": _finite(s.last_s),
+                "expected_s": _finite(s.expected_s),
+                "ratio": _finite(s.ratio),
+                "over": s.over,
+                "flagged": s.flagged,
+                "flagged_after": s.flagged_after,
+                "worst_share_drift": _finite(s.worst_share_drift),
+            } for s in mon.detector.scores()]
+            monitor_info = {
+                "samples": mon.samples,
+                "observations": mon.observations,
+                "recorded_traces": (mon.recorder.recorded
+                                    if mon.recorder is not None else 0),
+            }
+        status = ("closed" if self._closed
+                  else "degraded" if (degraded or sessions["quarantined"])
+                  else "ok")
+        return {
+            "status": status,
+            "workers": len(self._workers),
+            "queue_depth": len(self._queue),
+            "inflight": inflight,
+            "counters": {k: int(v) for k, v in snap["counters"].items()},
+            "gauges": {k: _finite(v) for k, v in snap["gauges"].items()},
+            "sessions": sessions,
+            "histograms": hists,
+            "stragglers": stragglers,
+            "monitor": monitor_info,
+        }
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -397,6 +636,10 @@ class Service:
             sessions_created=self._sessions.created,
             sessions_reused=self._sessions.reused,
             sessions_dropped=self._sessions.dropped,
+            sessions_quarantined=self._sessions.quarantined,
+            speculated=c("speculated"),
+            speculation_wins=c("speculation_wins"),
+            speculation_discarded=c("speculation_discarded"),
             process_spawns=now["spawns"] - self._baseline["spawns"],
             segments_created=now["segments"] - self._baseline["segments"],
         )
@@ -406,6 +649,11 @@ class Service:
         if self._closed:
             return
         self._closed = True
+        if self._monitor is not None:
+            # Stop background sampling first so no probe races the
+            # queue shutdown (a probe mid-close is a harmless no-op,
+            # but the thread must not outlive the service).
+            self._monitor.stop()
         self._queue.close()
         for t in self._workers:
             t.join()

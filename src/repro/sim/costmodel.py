@@ -20,9 +20,11 @@ The paper's traffic arithmetic (Sect. 1.1, 1.4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-__all__ = ["CodeBalance", "BlockTraffic"]
+from ..machine.topology import CacheLevel, MachineSpec
+
+__all__ = ["CodeBalance", "BlockTraffic", "limplock"]
 
 W = 8  # bytes per double-precision word
 
@@ -109,3 +111,39 @@ class BlockTraffic:
     def total_mem_bytes(self) -> float:
         """Memory-bus bytes excluding deferred writebacks."""
         return self.mem_load_bytes + self.mem_store_bytes
+
+
+def limplock(machine: MachineSpec, factor: float) -> MachineSpec:
+    """``machine`` degraded node-wide by ``factor`` (a limplocked worker).
+
+    Limplock is the degraded-but-alive failure mode: a node that still
+    answers every liveness probe while running uniformly slower —
+    thermal throttling, a resetting link, a neighbour saturating the
+    memory bus.  Modelled as every service *rate* divided by ``factor``
+    and every fixed *latency* multiplied by it, which time-dilates the
+    whole DES schedule uniformly: the event order is preserved and the
+    predicted total time scales by ``factor`` up to rounding.  That
+    exactness is what lets the straggler detector's fault-injection
+    battery pin observed detection latency against
+    :func:`repro.obs.monitor.predict_limplock_ratio`.
+    """
+    if factor < 1.0:
+        raise ValueError("limplock factor must be >= 1 (1 = healthy)")
+    f = float(factor)
+    caches = tuple(
+        CacheLevel(name=c.name, size=c.size, shared_by=c.shared_by,
+                   bandwidth=c.bandwidth / f)
+        for c in machine.caches)
+    return replace(
+        machine,
+        name=f"{machine.name} (limplock x{f:g})",
+        clock_hz=machine.clock_hz / f,
+        caches=caches,
+        mem_bw_socket=machine.mem_bw_socket / f,
+        mem_bw_single=machine.mem_bw_single / f,
+        remote_bw=machine.remote_bw / f,
+        core_mlups=machine.core_mlups / f,
+        coherence_latency_intra=machine.coherence_latency_intra * f,
+        coherence_latency_inter=machine.coherence_latency_inter * f,
+        block_overhead=machine.block_overhead * f,
+    )

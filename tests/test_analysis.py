@@ -342,6 +342,32 @@ def test_lint_engine_contract():
         uncommitted, path="src/repro/engine/fast.py")
 
 
+def test_lint_naked_perf_counter():
+    naked = "import time\nt0 = time.perf_counter()\nprint(t0)\n"
+    bare = "from time import perf_counter\nt0 = perf_counter()\nprint(t0)\n"
+    # Serving/observability modules must route timing through the
+    # sanctioned clock wrappers, or monitor timestamps drift apart.
+    assert "no-naked-perf-counter" in lint_findings(
+        naked, path="src/repro/serve/service.py")
+    assert "no-naked-perf-counter" in lint_findings(
+        bare, path="src/repro/obs/monitor/core.py")
+    assert "no-naked-perf-counter" in lint_findings(
+        "import time\nt = time.perf_counter_ns()\nprint(t)\n",
+        path="src/repro/obs/metrics.py")
+    # The clock primitives themselves are the allowlist.
+    assert "no-naked-perf-counter" not in lint_findings(
+        naked, path="src/repro/obs/tracer.py")
+    assert "no-naked-perf-counter" not in lint_findings(
+        naked, path="src/repro/obs/monitor/sampling.py")
+    # Out-of-scope trees (bench owns its own timing loops) are ignored.
+    assert "no-naked-perf-counter" not in lint_findings(
+        naked, path="src/repro/bench/harness.py")
+    # The sanctioned spelling is clean in scope.
+    assert "no-naked-perf-counter" not in lint_findings(
+        "from .monitor import monotime\nt0 = monotime()\nprint(t0)\n",
+        path="src/repro/serve/service.py")
+
+
 def test_lint_syntax_error_is_a_finding():
     assert "syntax" in lint_findings("def broken(:\n")
 

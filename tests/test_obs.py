@@ -85,6 +85,37 @@ class TestRegistry:
         assert mod.snapshot()["counters"]["test.obs.global"] == before + 3
         assert mod.REGISTRY is REGISTRY
 
+    def test_concurrent_hammer_pins_exact_totals(self):
+        # The monitor samples registries from its own thread while
+        # worker threads increment them, so lost updates would show up
+        # as drifting health counters.  8 threads x 2500 increments on
+        # shared names must land on the exact totals.
+        import threading
+
+        reg = MetricsRegistry()
+        threads, iters = 8, 2500
+        start = threading.Barrier(threads)
+
+        def hammer(tid: int) -> None:
+            start.wait()
+            for i in range(iters):
+                reg.inc("shared")
+                reg.inc(f"per.{tid}", 2)
+                reg.set_gauge("last", float(i))
+                if i % 100 == 0:
+                    reg.snapshot()  # concurrent reads must not tear
+
+        pool = [threading.Thread(target=hammer, args=(t,))
+                for t in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert reg.counter("shared") == threads * iters
+        for tid in range(threads):
+            assert reg.counter(f"per.{tid}") == 2 * iters
+        assert reg.gauge("last") == float(iters - 1)
+
 
 # ---------------------------------------------------------------------------
 # Tracer core
@@ -360,6 +391,32 @@ class TestCli:
         from repro.obs.cli import main
         with pytest.raises(SystemExit):
             main(["summarize", str(tmp_path / "nope.json")])
+
+    @pytest.fixture()
+    def empty_trace_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace(Trace(), path)
+        return path
+
+    def test_summarize_empty_trace_is_clear_not_a_crash(
+            self, empty_trace_file, capsys):
+        # Regression: a zero-span trace used to render an all-zero
+        # metrics table, indistinguishable from a measured run that did
+        # nothing.  Now it must exit 0 with a plain explanation instead.
+        from repro.obs.cli import main
+        assert main(["summarize", str(empty_trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "no spans or counters recorded" in out
+        assert "was tracing enabled?" in out
+
+    def test_diff_with_empty_side_says_so(self, trace_file,
+                                          empty_trace_file, capsys):
+        from repro.obs.cli import main
+        assert main(["diff", str(empty_trace_file),
+                     str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "no spans or counters recorded" in out
+        assert "nothing to diff" in out
 
 
 # ---------------------------------------------------------------------------
