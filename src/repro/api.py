@@ -103,7 +103,11 @@ def solve(
         Optional kernel-execution engine name (:mod:`repro.engine`);
         overrides ``config.engine``.  Engines are bit-identical, so
         this changes throughput, never the result — every backend
-        dispatches the same engine registry per rank.
+        dispatches the same engine registry per rank.  ``"auto"``
+        resolves to the measured-best engine for this host, storage
+        scheme and grid size from the perf database
+        (:mod:`repro.perf.db`) — the static default when no
+        measurements apply, so it is always safe.
     validate:
         ``True`` (default) keeps the runtime coverage checks of the
         executor.  ``"static"`` first certifies the schedule with the
@@ -130,6 +134,12 @@ def solve(
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if engine == "auto":
+        # Resolve eagerly from the measured perf database: the static
+        # default engine when this host has no applicable measurements.
+        from .perf.db import resolve_auto_engine
+
+        engine = resolve_auto_engine(config.storage, grid.shape)
     if engine is not None and engine != config.engine:
         config = replace(config, engine=engine)
     topo = _check_topology(topology)
@@ -199,16 +209,18 @@ def submit(grid: Grid3D, field: np.ndarray,
     """
     from .serve import submit as _submit
 
-    if engine is not None:
+    if engine is not None and engine != "auto":
         if not isinstance(config, PipelineConfig):
             raise ValueError(
-                "engine cannot be combined with config='auto'; the "
-                "autotuner resolves the full configuration (pass "
-                "engines=... to repro.autotune for an engine sweep)")
+                "a concrete engine cannot be combined with config='auto'; "
+                "the autotuner resolves the full configuration (pass "
+                "engines=... to repro.autotune for an engine sweep, or "
+                "engine='auto' for the measured-best engine)")
         if engine != config.engine:
             config = replace(config, engine=engine)
+        engine = None
     return _submit(grid, field, config, topology=topology, backend=backend,
-                   stencil=stencil, priority=priority)
+                   stencil=stencil, priority=priority, engine=engine)
 
 
 def map_jobs(jobs: Iterable, timeout: Optional[float] = None,

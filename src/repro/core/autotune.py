@@ -44,6 +44,8 @@ def autotune(
     seed: int = 0,
     top: Optional[int] = None,
     prune_illegal: bool = True,
+    perf_db=None,
+    kernel: str = "jacobi",
 ) -> List[TuneResult]:
     """Exhaustive sweep; returns results sorted best-first.
 
@@ -56,8 +58,14 @@ def autotune(
     hierarchy, which engines do not change (they are bit-identical
     traversal/fusion variants), so engine points tie on simulated
     MLUP/s and the stable sort ranks them in the order given —
-    callers wanting measured engine differences sweep the
-    ``solve_*`` perf scenarios instead.  Pass
+    *unless* a measured perf database is supplied.  With
+    ``perf_db=repro.perf.db.default_db()`` (or any
+    :class:`~repro.perf.db.PerfDB`) each engine point's simulated rate
+    is scaled by the host's measured engine/default throughput ratio
+    for this ``kernel``, storage and size class
+    (:func:`repro.sim.costmodel.engine_factor`), so calibrated hosts
+    rank engine points by data; unmeasured engines keep the neutral
+    factor 1.0 and the historical tie.  Pass
     ``engines=repro.engine.available_engines()`` to enumerate every
     engine registered in this process.
 
@@ -97,12 +105,19 @@ def autotune(
                         # One DES run covers every engine: engines are
                         # bit-identical traversal variants the machine
                         # model does not distinguish, so the simulated
-                        # rate is shared and only the config differs.
+                        # rate is shared and only the measured engine
+                        # factor (1.0 without a perf database) differs.
                         rep = simulate_pipelined(machine, cfg, shape,
                                                  seed=seed)
                         for engine in engines:
+                            mlups = rep.mlups
+                            if perf_db is not None:
+                                from ..sim.costmodel import engine_factor
+                                mlups *= engine_factor(
+                                    engine, storage=storage, shape=shape,
+                                    kernel=kernel, db=perf_db)
                             results.append(TuneResult(
                                 _replace(cfg, engine=engine),
-                                rep.mlups, rep.reloads))
+                                mlups, rep.reloads))
     results.sort(key=lambda r: -r.mlups)
     return results[:top] if top else results

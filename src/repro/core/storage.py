@@ -129,6 +129,40 @@ class _StorageBase:
                 dim, side, face, dtype=self.grid.dtype)
         return out
 
+    def check_traversal(self, region: Box, offsets, level: int) -> None:
+        """Validate every read a fused block traversal would perform.
+
+        Deep-JIT engines execute gather + boundary patch + write in one
+        compiled region, reading the raw arrays directly — so the
+        legality validation that :meth:`read`/:meth:`gather` would have
+        run per offset happens here instead, up front: the centre read
+        plus the in-domain part of each shifted read, with exactly the
+        checks (two-buffer window, compressed-position tracking) a
+        per-offset gather sequence performs.  No-op when validation is
+        off or ``region`` is empty.
+        """
+        if not self.validate or region.is_empty:
+            return
+        if not self.domain.contains_box(region):
+            raise StorageError(f"gather region {region} outside stored domain")
+        self._read_inside(region, level)
+        for off in offsets:
+            inside = region.shift(off).intersect(self.domain)
+            if not inside.is_empty:
+                self._read_inside(inside, level)
+
+    def raw_read_array(self, level: int) -> Tuple[np.ndarray, Tuple[int, int, int]]:
+        """The backing array holding ``level`` plus its index origin.
+
+        Deep-JIT access: returns ``(array, origin)`` such that the value
+        of interior cell ``c`` at time ``level`` lives at
+        ``array[c + origin]``.  Reads through this path bypass the
+        legality validation — callers must run :meth:`check_traversal`
+        first (and pair destination access with
+        :meth:`write_view`/:meth:`commit_write` as usual).
+        """
+        raise NotImplementedError
+
     def check_uniform_level(self, box: Box, level: int) -> None:
         """Raise unless every cell of ``box`` sits at exactly ``level``."""
         sl = box.slices()
@@ -214,6 +248,10 @@ class TwoGridStorage(_StorageBase):
             raise StorageError("inject shape mismatch")
         self._arrays[level % 2][box.slices()] = values
         self.levels[box.slices()] = level
+
+    def raw_read_array(self, level: int) -> Tuple[np.ndarray, Tuple[int, int, int]]:
+        """Array ``level % 2`` with a zero origin (cells live at their coords)."""
+        return self._arrays[level % 2], (0, 0, 0)
 
     @property
     def array_bytes(self) -> int:
@@ -335,6 +373,12 @@ class CompressedStorage(_StorageBase):
         self._array[sl] = values
         self._pos_level[sl] = level
         self.levels[box.slices()] = level
+
+    def raw_read_array(self, level: int) -> Tuple[np.ndarray, Tuple[int, int, int]]:
+        """The compressed array; origin folds in the level shift and margin."""
+        off = self.offset_vec(level)
+        origin = tuple(off[d] + self.margin[d] for d in range(3))
+        return self._array, origin  # type: ignore[return-value]
 
     @property
     def array_bytes(self) -> int:

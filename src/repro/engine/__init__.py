@@ -9,14 +9,17 @@ limit by changing only the inner kernel.
 
 Built-in engines (all bit-identical, semantics class ``vector-v1``):
 
-========== ==================================================================
-``numpy``  Whole-region vectorised gather (the historical default).
-``blocked`` Cache-aware tiled traversal reusing the block machinery.
-``inplace`` Fused plane-wise update writing destination storage directly
-            (the compressed grid's in-place trick, Sect. 1.3).
-``numba``  Optional ``njit(parallel=True)`` fused loops; registers only
-            when :mod:`numba` is installed.
-========== ==================================================================
+=============== =============================================================
+``numpy``       Whole-region vectorised gather (the historical default).
+``blocked``     Cache-aware tiled traversal reusing the block machinery.
+``inplace``     Fused plane-wise update writing destination storage
+                directly (the compressed grid's in-place trick, Sect. 1.3).
+``numba``       Optional ``njit(parallel=True)`` fused multiply-add loops;
+                registers only when :mod:`numba` is installed.
+``numba-deep``  Optional whole-block-traversal JIT: gather, Dirichlet
+                patch and destination write in one compiled region, for
+                both storage schemes (also numba-gated).
+=============== =============================================================
 
 Select an engine per solve (``repro.solve(..., engine="blocked")``) or
 per configuration (``PipelineConfig(engine="inplace")``); every rail —
@@ -28,7 +31,8 @@ the configuration everywhere.
 from .base import Engine, nonzero_terms
 from .blocked import BlockedEngine, DEFAULT_TILE
 from .inplace import InplaceEngine
-from .numba_engine import HAVE_NUMBA, NumbaEngine
+from .numba_deep import NumbaDeepEngine
+from .numba_engine import HAVE_NUMBA, NumbaEngine, jit_cache_stats
 from .numpy_engine import NumpyEngine
 from .registry import (
     DEFAULT_ENGINE,
@@ -47,7 +51,9 @@ __all__ = [
     "BlockedEngine",
     "InplaceEngine",
     "NumbaEngine",
+    "NumbaDeepEngine",
     "HAVE_NUMBA",
+    "jit_cache_stats",
     "DEFAULT_ENGINE",
     "DEFAULT_TILE",
     "KNOWN_ENGINES",
@@ -65,3 +71,4 @@ register_engine(BlockedEngine())
 register_engine(InplaceEngine())
 if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
     register_engine(NumbaEngine())
+    register_engine(NumbaDeepEngine())

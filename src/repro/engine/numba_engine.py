@@ -41,7 +41,7 @@ import numpy as np
 
 from .base import Engine, nonzero_terms
 
-__all__ = ["HAVE_NUMBA", "NumbaEngine"]
+__all__ = ["HAVE_NUMBA", "NumbaEngine", "jit_cache_stats"]
 
 try:  # pragma: no cover - exercised only where numba is installed
     import numba
@@ -94,14 +94,46 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
     # One source, two compilations: with parallel=False numba lowers
     # ``prange`` to a plain ``range``, so both flavours execute the
     # same per-cell operation sequence and remain bit-identical.
-    _fused_terms = numba.njit(parallel=True, fastmath=False)(
+    # ``cache=True`` persists the compiled machine code next to this
+    # module, so warm procmpi/spawn workers (which re-import the engine
+    # package per process) load it from disk instead of re-JITting on
+    # their first job — tests/test_engine_equivalence.py pins this with
+    # a fresh-subprocess probe over :func:`jit_cache_stats`.
+    _fused_terms = numba.njit(parallel=True, fastmath=False, cache=True)(
         _fused_terms_impl)
-    _fused_terms_nogil = numba.njit(nogil=True, fastmath=False)(
+    _fused_terms_nogil = numba.njit(nogil=True, fastmath=False, cache=True)(
         _fused_terms_impl)
-    _fused_padded = numba.njit(parallel=True, fastmath=False)(
+    _fused_padded = numba.njit(parallel=True, fastmath=False, cache=True)(
         _fused_padded_impl)
-    _fused_padded_nogil = numba.njit(nogil=True, fastmath=False)(
+    _fused_padded_nogil = numba.njit(nogil=True, fastmath=False, cache=True)(
         _fused_padded_impl)
+
+
+#: Every cached dispatcher this package compiled, for
+#: :func:`jit_cache_stats`.  The deep engine appends its own.
+_JIT_DISPATCHERS: list = []
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _JIT_DISPATCHERS.extend([_fused_terms, _fused_terms_nogil,
+                             _fused_padded, _fused_padded_nogil])
+
+
+def jit_cache_stats() -> dict:
+    """Aggregate on-disk JIT-cache counters across every compiled flavour.
+
+    ``hits`` counts compilations satisfied from the persisted cache
+    (``cache=True``) instead of a fresh JIT; ``misses`` counts real
+    compilations.  A warm worker process that re-imports this package
+    must show only hits — that is the no-re-JIT-per-job pin.  Returns
+    zeros when numba is absent (nothing ever compiles).
+    """
+    hits = misses = 0
+    for disp in _JIT_DISPATCHERS:
+        stats = getattr(disp, "stats", None)
+        if stats is None:
+            continue
+        hits += sum(getattr(stats, "cache_hits", {}).values())
+        misses += sum(getattr(stats, "cache_misses", {}).values())
+    return {"hits": hits, "misses": misses}
 
 
 def _on_main_thread() -> bool:

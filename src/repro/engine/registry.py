@@ -33,10 +33,11 @@ DEFAULT_ENGINE = "numpy"
 #: outside this set are rejected with the list of valid choices; names
 #: inside it that are *not* registered are optional engines whose
 #: dependency is missing (see :data:`_OPTIONAL`).
-KNOWN_ENGINES: Tuple[str, ...] = ("numpy", "blocked", "inplace", "numba")
+KNOWN_ENGINES: Tuple[str, ...] = ("numpy", "blocked", "inplace", "numba",
+                                  "numba-deep")
 
 #: Optional engines and the dependency that gates each.
-_OPTIONAL: Dict[str, str] = {"numba": "numba"}
+_OPTIONAL: Dict[str, str] = {"numba": "numba", "numba-deep": "numba"}
 
 _REGISTRY: Dict[str, Engine] = {}
 

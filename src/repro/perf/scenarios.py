@@ -253,6 +253,25 @@ def _sum_solve(payload, wall: float) -> Dict[str, Metric]:
     return out
 
 
+def _sum_solve_auto(payload, wall: float) -> Dict[str, Metric]:
+    # Every gated metric is derived from an *injected* deterministic
+    # measurement table, so the gate is host-stable: auto must pick the
+    # measured-best engine (rank 0) and may never pick one measured
+    # slower than the static default.
+    return {
+        "auto_rank": Metric(float(payload["rank"]), unit="rank",
+                            higher_is_better=False),
+        "auto_not_worse_than_default": Metric(
+            float(payload["not_worse"]), unit="bool"),
+        "bit_identical_to_default": Metric(
+            float(payload["bit_identical"]), unit="bool"),
+        "cells_updated": Metric(float(payload["cells"]), unit="cells",
+                                gate=False),
+        "mcups": Metric(ratio(payload["cells"], wall) / 1e6,
+                        unit="Mcell/s", gate=False),
+    }
+
+
 # --------------------------------------------------------------------------
 # Analytical-model predictions (repro.models) for `compare --model`.
 # --------------------------------------------------------------------------
@@ -448,10 +467,16 @@ def solver_schedules(suite: str):
     if importlib.util.find_spec("numba") is not None:
         engine_points.append(("numba", "shared", "twogrid"))
         engine_points.append(("numba", "threads", "twogrid"))
+        engine_points.append(("numba-deep", "shared", "twogrid"))
+        engine_points.append(("numba-deep", "shared", "compressed"))
+        engine_points.append(("numba-deep", "threads", "twogrid"))
     for engine_, backend_, storage_ in engine_points:
         ecfg = replace(cfg, engine=engine_, storage=storage_)
         etopo = (1, 1, 1) if backend_ in ("shared", "threads") else topo
         yield f"solve_{backend_}_{engine_}@{suite}", shape, ecfg, etopo
+    # engine="auto" runs the same shared schedule; the engine choice is
+    # a traversal variant the analyzer does not distinguish.
+    yield f"solve_auto@{suite}", shape, cfg, (1, 1, 1)
     sn, stopo, _jobs = SERVE_SIZES[suite]
     sgrid, scfg = _serve_problem(sn)
     yield f"serve@{suite}", sgrid.shape, scfg, stopo
@@ -635,6 +660,12 @@ def _register_solvers() -> None:
             # speedup (asserted >1x only on multicore hosts — see
             # tests/test_threads.py).
             engine_points.append(("numba", "threads", "twogrid"))
+            # The deep-JIT engine: one compiled region per block
+            # traversal (gather + boundary patch + write), on both
+            # storage schemes and under the threads rail.
+            engine_points.append(("numba-deep", "shared", "twogrid"))
+            engine_points.append(("numba-deep", "shared", "compressed"))
+            engine_points.append(("numba-deep", "threads", "twogrid"))
         for engine_, backend_, storage_ in engine_points:
 
             def solve_engine(_suite=suite, _engine=engine_,
@@ -666,6 +697,63 @@ def _register_solvers() -> None:
                 description=f"Functional solve through the {engine_!r} "
                             f"execution engine on the {backend_} backend",
             ))
+
+        # engine="auto" (E18): resolve the engine from an *injected*
+        # deterministic perf database (a fixed measurement table over
+        # the engines registered here), then prove — as gated counters —
+        # that the choice is the measured-best (rank 0), never slower
+        # than the static default, and bit-identical to it.
+        def solve_auto(_suite=suite):
+            from dataclasses import replace
+
+            import numpy as np
+
+            from ..core.pipeline import run_pipelined
+            from ..engine import DEFAULT_ENGINE, available_engines
+            from ..perf.db import PerfDB, resolve_auto_engine, size_class
+
+            grid, field_, cfg, _ = _solver_problem(_suite)
+            # A fixed table, restricted to the engines present in this
+            # process — same decision on every host with the same
+            # engine set (the checked-in baseline uses the clean,
+            # numba-free set).
+            table = {"numpy": 100.0, "blocked": 140.0, "inplace": 120.0,
+                     "numba": 180.0, "numba-deep": 220.0}
+            cls = size_class(grid.shape)
+            db = PerfDB()
+            measured = {}
+            for eng in available_engines():
+                if eng in table:
+                    db.record(eng, "jacobi", cfg.storage, cls, table[eng])
+                    measured[eng] = table[eng]
+            chosen = resolve_auto_engine(cfg.storage, grid.shape, db=db)
+            ranked = sorted(measured, key=lambda e: -measured[e])
+            res_auto = run_pipelined(grid, field_,
+                                     replace(cfg, engine=chosen),
+                                     validate=False)
+            res_def = run_pipelined(grid, field_, cfg, validate=False)
+            return {
+                "rank": ranked.index(chosen),
+                "not_worse": measured[chosen] >= measured[DEFAULT_ENGINE],
+                "bit_identical": bool(np.array_equal(res_auto.field,
+                                                     res_def.field)),
+                "cells": (res_auto.stats.cells_updated
+                          if res_auto.stats else 0),
+            }
+
+        register(Scenario(
+            name=f"solve_auto@{suite}",
+            kind="solver",
+            suites=(suite,),
+            fn=solve_auto,
+            summarize=_sum_solve_auto,
+            params={**base_params, "backend": "shared",
+                    "engine": "auto", "validate": False},
+            description="engine='auto' resolved from an injected "
+                        "deterministic perf database; gates that the "
+                        "measured-best engine is chosen and stays "
+                        "bit-identical to the static default",
+        ))
 
 
 # --------------------------------------------------------------------------

@@ -15,6 +15,14 @@ is stable, and resolutions are memoised per (machine, geometry), so the
 same "auto" job always resolves to the same concrete
 :class:`PipelineConfig` — which is what lets resolved jobs share
 content keys and cache entries.
+
+Since the measured perf database (:mod:`repro.perf.db`) arrived, the
+chosen configuration also carries the measured-best **engine** for its
+storage scheme and grid size (:func:`~repro.perf.db.resolve_auto_engine`
+— the static default when nothing is measured), and the memo key folds
+in the database *generation*: fresh calibration data invalidates the
+memo instead of being shadowed by it.  Engines share a semantics class,
+so this never changes result bits or content keys — only throughput.
 """
 
 from __future__ import annotations
@@ -123,10 +131,16 @@ def auto_config(grid: Grid3D,
     repeated auto jobs on one geometry resolve (and therefore cache)
     identically.
     """
+    from ..perf.db import perfdb_generation, resolve_auto_engine
+
     m = machine or _default_machine()
     # repr() covers every calibration field — two machines sharing a
     # display name but differing in bandwidths must not share tunings.
-    key = (repr(m), tuple(grid.shape), str(grid.dtype), tuple(topology))
+    # The perf-database generation is part of the key: recording new
+    # measurements (a calibration run, a perf-run ingest) must change
+    # future resolutions, not be shadowed by a stale memo entry.
+    key = (repr(m), tuple(grid.shape), str(grid.dtype), tuple(topology),
+           perfdb_generation())
     with _cache_lock:
         hit = _resolved.get(key)
     if hit is not None:
@@ -142,6 +156,15 @@ def auto_config(grid: Grid3D,
             raise ValueError(
                 f"no valid pipeline configuration found for grid "
                 f"{grid.shape} on topology {tuple(topology)}")
+    # The geometry sweep picked block/T/d_u/storage; the engine axis is
+    # orthogonal (bit-identical variants) and is resolved from *measured*
+    # data for the chosen storage scheme — static default when the
+    # database has nothing for this host.
+    engine = resolve_auto_engine(chosen.storage, grid.shape)
+    if engine != chosen.engine:
+        from dataclasses import replace
+
+        chosen = replace(chosen, engine=engine)
     with _cache_lock:
         _resolved[key] = chosen
     return chosen

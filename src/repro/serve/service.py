@@ -75,7 +75,7 @@ from .cache import ResultCache
 from .futures import SolveFuture, wait_all
 from .job import SolveJob
 from .pool import SessionPool
-from .scheduler import Entry, JobQueue
+from .scheduler import Entry, JobQueue, resolve_engine
 
 __all__ = ["ServiceStats", "Service", "WALL_HISTOGRAM", "QUEUE_HISTOGRAM",
            "default_service", "configure", "submit", "map_jobs", "shutdown"]
@@ -109,6 +109,9 @@ class ServiceStats:
     coalesced: int = 0
     #: Jobs whose ``config="auto"`` went through the autotuner.
     auto_resolved: int = 0
+    #: ``engine="auto"`` entries whose execution bound a *non-default*
+    #: measured engine from the perf database.
+    auto_engine_bound: int = 0
     #: Batches of >1 job that ran back-to-back on one warm slot.
     batches: int = 0
     batched_jobs: int = 0
@@ -287,23 +290,38 @@ class Service:
         parameters (deterministic autotuner sweep on the machine model).
         ``engine`` overrides ``config.engine`` (concrete configs only);
         engines of one semantics class share cache entries, so an
-        engine change alone never forces a recompute.
+        engine change alone never forces a recompute.  ``engine="auto"``
+        defers the choice to the measured perf database
+        (:mod:`repro.perf.db`), bound at execution time — with
+        ``config="auto"`` that is already the autotuner's behaviour, so
+        the combination is accepted as a no-op.
         """
-        if engine is not None:
+        auto_engine = engine == "auto"
+        if engine is not None and not auto_engine:
             if not isinstance(config, PipelineConfig):
                 raise ValueError(
-                    "engine cannot be combined with config='auto'; the "
-                    "autotuner resolves the full configuration")
+                    "a concrete engine cannot be combined with "
+                    "config='auto'; the autotuner resolves the full "
+                    "configuration (engine='auto' is allowed)")
             if engine != config.engine:
                 config = replace(config, engine=engine)
         job = SolveJob(grid=grid, field=field, config=config,
                        topology=(tuple(int(p) for p in topology)
                                  if topology is not None else (1, 1, 1)),
                        backend=backend, stencil=stencil, priority=priority)
-        return self.submit_job(job)
+        # config="auto" resolves the engine from the same database, so
+        # the flag only needs to ride concrete-config jobs.
+        return self.submit_job(job, auto_engine=auto_engine and job.resolved)
 
-    def submit_job(self, job: SolveJob) -> SolveFuture:
-        """Queue a prepared :class:`SolveJob`; returns its future."""
+    def submit_job(self, job: SolveJob,
+                   auto_engine: bool = False) -> SolveFuture:
+        """Queue a prepared :class:`SolveJob`; returns its future.
+
+        ``auto_engine`` marks the entry for execution-time engine
+        binding from the measured perf database (the ``engine="auto"``
+        path); the content key is engine-class-keyed, so the deferred
+        choice never changes cache identity.
+        """
         if self._closed:
             raise RuntimeError("service is closed")
         if not job.resolved:
@@ -335,7 +353,7 @@ class Service:
                         inflight.futures.append(future)
                         return future
                 entry = Entry(job=job, key=key, futures=[future],
-                              t_queued=t_queued)
+                              t_queued=t_queued, auto_engine=auto_engine)
                 if key is not None:
                     self._inflight[key] = entry
         if hit is not None:
@@ -422,8 +440,14 @@ class Service:
         if mon is not None and not spec_run and entry.t_queued > 0:
             mon.observe(QUEUE_HISTOGRAM, max(0.0, t0 - entry.t_queued))
         record = mon is not None and mon.recorder is not None
+        # Bind any deferred engine="auto" choice now, against the perf
+        # database as of *execution* — queued entries see calibration
+        # data that arrived after submission.
+        job = resolve_engine(entry)
+        if job is not entry.job:
+            self._metrics.inc("auto_engine_bound")
         try:
-            result, worker, trace = self._execute(entry.job, record=record)
+            result, worker, trace = self._execute(job, record=record)
         except BaseException as exc:  # noqa: BLE001 — future carries it
             with self._lock:
                 if entry.settled:
@@ -630,6 +654,7 @@ class Service:
             cache_hits=c("cache_hits"),
             coalesced=c("coalesced"),
             auto_resolved=c("auto_resolved"),
+            auto_engine_bound=c("auto_engine_bound"),
             batches=c("batches"),
             batched_jobs=c("batched_jobs"),
             backend_solves=c("backend_solves"),
@@ -703,11 +728,12 @@ def submit(grid: Grid3D, field: np.ndarray,
            topology: Optional[Sequence[int]] = None,
            backend: str = "shared",
            stencil: Optional[StarStencil] = None,
-           priority: int = 0) -> SolveFuture:
+           priority: int = 0,
+           engine: Optional[str] = None) -> SolveFuture:
     """``repro.submit`` — queue one solve on the default service."""
     return default_service().submit(grid, field, config, topology=topology,
                                     backend=backend, stencil=stencil,
-                                    priority=priority)
+                                    priority=priority, engine=engine)
 
 
 def map_jobs(jobs: Iterable[SolveJob],

@@ -24,8 +24,11 @@ differential battery in ``tests/test_threads.py`` pins it.
 What real threads buy depends on the engine.  Pure-numpy engines
 overlap wherever numpy releases the GIL (large-array arithmetic), the
 ``numba`` engine's fused loops release it explicitly (``nogil``) for
-the whole compiled update, and on free-threaded CPython (3.13t) every
-engine runs fully concurrently.  Single-core hosts still get a
+the compiled multiply-add — and the ``numba-deep`` engine extends that
+to the *entire block traversal* (gather, boundary patch and
+destination write in one ``nogil`` region), so a stage holds the GIL
+only for its per-block Python dispatch.  On free-threaded CPython
+(3.13t) every engine runs fully concurrently.  Single-core hosts still get a
 correct, wall-clock-parallel executor — just no speedup, which is why
 the perf gate for >1x lives behind a core-count/numba guard.
 

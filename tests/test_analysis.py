@@ -400,7 +400,7 @@ def run_cli(*args):
 def test_cli_certifies_quick_suite():
     proc = run_cli("check-schedule", "--suite", "quick")
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "9/9 schedule(s) certified" in proc.stdout
+    assert "10/10 schedule(s) certified" in proc.stdout
 
 
 def test_cli_rejects_illegal_flags():

@@ -15,7 +15,16 @@ backend combination.  This file pins that invariant:
   offsets, empty regions, pure-center stencils and float32/float64
   dtype preservation;
 * the optional ``numba`` leg, skip-marked so the suite passes in a
-  clean environment (CI runs both ways).
+  clean environment (CI runs both ways);
+* the ``numba-deep`` whole-block-traversal engine: where numba is
+  installed it rides every parametrized battery above (it is in
+  ``available_engines()``); everywhere, its *traversal logic* is
+  certified in interpreted mode — the compiled loop body is a plain
+  Python function, so the identical gather/patch/write sequence runs
+  under the test without the dependency;
+* the JIT-cache pin: ``cache=True`` compilations mean a warm worker
+  process re-importing the engine package never re-JITs per job
+  (subprocess probe over ``jit_cache_stats``, skip-marked).
 """
 
 from __future__ import annotations
@@ -80,7 +89,7 @@ class TestRegistry:
     def test_builtins_registered_in_canonical_order(self):
         names = available_engines()
         expected = ("numpy", "blocked", "inplace") + (
-            ("numba",) if HAVE_NUMBA else ())
+            ("numba", "numba-deep") if HAVE_NUMBA else ())
         assert names == expected
 
     def test_unknown_engine_lists_choices(self):
@@ -359,3 +368,180 @@ class TestNumbaEngine:
         got = solve(grid, field, _cfg(engine="numba"))
         assert got.field.dtype == np.float32
         assert np.array_equal(got.field, ref.field)
+
+
+# ---------------------------------------------------------------------------
+# The deep-JIT engine: interpreted-mode traversal battery (no numba needed)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def deep_engine():
+    """The numba-deep engine, runnable with or without numba.
+
+    With numba installed the registered engine is used as-is.  Without
+    it, the engine class is instantiated around its *interpreted* loop
+    body (``prange`` is plain ``range`` there) and registered for the
+    test's duration: the per-cell operation sequence is the same either
+    way, so this certifies the fused traversal — plane ordering,
+    permuted axes, boundary patching, destination writes — in a clean
+    environment.
+    """
+    from repro.engine import NumbaDeepEngine
+
+    if HAVE_NUMBA:
+        yield get_engine("numba-deep")
+        return
+    eng = object.__new__(NumbaDeepEngine)
+    register_engine(eng)
+    try:
+        yield eng
+    finally:
+        unregister_engine("numba-deep")
+
+
+class TestDeepTraversal:
+    @pytest.mark.parametrize("kernel", sorted(STENCILS))
+    @pytest.mark.parametrize("storage", ["twogrid", "compressed"])
+    def test_bit_identical_to_numpy(self, deep_engine, kernel, storage):
+        grid, field = _problem()
+        st = STENCILS[kernel]
+        ref = solve(grid, field, _cfg(storage=storage), stencil=st)
+        got = solve(grid, field, _cfg(storage=storage,
+                                      engine="numba-deep"), stencil=st)
+        assert np.array_equal(got.field, ref.field)
+
+    @pytest.mark.parametrize("storage", ["twogrid", "compressed"])
+    def test_boundary_faces_and_callable(self, deep_engine, storage):
+        from repro.grid import DirichletBoundary
+
+        for boundary in (
+                DirichletBoundary(1.25),
+                DirichletBoundary(faces={(0, -1): 2.0, (1, 1): -0.5,
+                                         (2, -1): 0.75}),
+                DirichletBoundary(
+                    func=lambda z, y, x: 0.1 * z + 0.2 * y - 0.05 * x)):
+            grid = Grid3D((9, 8, 10), boundary=boundary)
+            field = random_field(grid.shape,
+                                 np.random.default_rng(RNG_SEED))
+            ref = solve(grid, field, _cfg(storage=storage))
+            got = solve(grid, field, _cfg(storage=storage,
+                                          engine="numba-deep"))
+            assert np.array_equal(got.field, ref.field)
+
+    @pytest.mark.parametrize("shape", [(1, 6, 7), (6, 1, 7), (6, 7, 1),
+                                       (1, 1, 1)])
+    def test_degenerate_axes(self, deep_engine, shape):
+        # twogrid only: compressed storage rejects degenerate shapes
+        # outright (no axis can carry the shift), for every engine.
+        grid, field = _problem(shape)
+        ref = solve(grid, field, _cfg())
+        got = solve(grid, field, _cfg(engine="numba-deep"))
+        assert np.array_equal(got.field, ref.field)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_dtype_preserved(self, deep_engine, dtype):
+        grid, field = _problem(dtype=dtype)
+        ref = solve(grid, field, _cfg(storage="compressed"))
+        got = solve(grid, field, _cfg(storage="compressed",
+                                      engine="numba-deep"))
+        assert got.field.dtype == np.dtype(dtype)
+        assert np.array_equal(got.field, ref.field)
+
+    def test_damped_center_term(self, deep_engine):
+        st = STENCILS["jacobi"].damped(0.8)
+        grid, field = _problem()
+        for storage in ("twogrid", "compressed"):
+            ref = solve(grid, field, _cfg(storage=storage), stencil=st)
+            got = solve(grid, field, _cfg(storage=storage,
+                                          engine="numba-deep"), stencil=st)
+            assert np.array_equal(got.field, ref.field)
+
+    def test_threads_backend_bit_identical(self, deep_engine):
+        grid, field = _problem()
+        ref = solve(grid, field, _cfg(), backend="threads")
+        got = solve(grid, field, _cfg(engine="numba-deep"),
+                    backend="threads")
+        assert np.array_equal(got.field, ref.field)
+
+    def test_simmpi_backend_bit_identical(self, deep_engine):
+        grid, field = _problem()
+        ref = solve(grid, field, _cfg(), topology=(1, 1, 2),
+                    backend="simmpi")
+        got = solve(grid, field, _cfg(engine="numba-deep"),
+                    topology=(1, 1, 2), backend="simmpi")
+        assert np.array_equal(got.field, ref.field)
+
+    def test_shares_the_vector_semantics_class(self, deep_engine):
+        assert deep_engine.semantics == "vector-v1"
+        assert deep_engine.name == "numba-deep"
+        assert deep_engine.jit and deep_engine.requires == "numba"
+
+    def test_storage_deep_access_validates_reads(self, deep_engine):
+        """check_traversal runs the same legality validation a gather
+        sequence would — an illegal read is refused up front."""
+        from repro.core.storage import StorageError, TwoGridStorage
+
+        grid, field = _problem((6, 6, 6))
+        storage = TwoGridStorage(grid, field)
+        inside = Box((0, 0, 0), (2, 6, 6))
+        storage.check_traversal(inside, [(0, 0, 1)], 0)  # legal: no raise
+        with pytest.raises(StorageError):
+            storage.check_traversal(Box((0, 0, 0), (7, 6, 6)),
+                                    [(0, 0, 1)], 0)
+        arr, origin = storage.raw_read_array(0)
+        assert origin == (0, 0, 0)
+        assert np.shares_memory(arr, storage.extract(0)) or \
+            np.array_equal(arr, field)
+
+
+# ---------------------------------------------------------------------------
+# JIT cache behaviour (cache=True): warm workers never re-JIT per job
+# ---------------------------------------------------------------------------
+
+class TestJitCache:
+    def test_stats_are_zero_without_numba(self):
+        from repro.engine import jit_cache_stats
+
+        stats = jit_cache_stats()
+        assert set(stats) == {"hits", "misses"}
+        if not HAVE_NUMBA:
+            assert stats == {"hits": 0, "misses": 0}
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_warm_worker_loads_from_disk_cache(self, tmp_path):
+        """A fresh process that re-imports the engine package and runs a
+        solve per engine must satisfy every compilation from the on-disk
+        cache (hits), not fresh JITs (misses) — the second run is the
+        'warm spawned worker' of the serve/procmpi rails."""
+        import subprocess
+        import sys
+
+        probe = (
+            "import json, numpy as np\n"
+            "import repro\n"
+            "from repro import Grid3D, PipelineConfig, RelaxedSpec, solve\n"
+            "from repro.engine import jit_cache_stats\n"
+            "from repro.grid import random_field\n"
+            "grid = Grid3D((8, 8, 8))\n"
+            "field = random_field(grid.shape, np.random.default_rng(0))\n"
+            "cfg = PipelineConfig(teams=1, threads_per_team=2,\n"
+            "                     updates_per_thread=2,\n"
+            "                     block_size=(4, 64, 64),\n"
+            "                     sync=RelaxedSpec(1, 2))\n"
+            "for engine in ('numba', 'numba-deep'):\n"
+            "    solve(grid, field, cfg, engine=engine)\n"
+            "print(json.dumps(jit_cache_stats()))\n"
+        )
+
+        def run() -> dict:
+            out = subprocess.run([sys.executable, "-c", probe],
+                                 capture_output=True, text=True,
+                                 check=True)
+            return __import__("json").loads(out.stdout.strip()
+                                            .splitlines()[-1])
+
+        first = run()   # may compile (cold disk cache)
+        second = run()  # fresh process, warm disk cache
+        assert second["misses"] == 0, (
+            f"warm worker re-JITted: {second} (cold run: {first})")
+        assert second["hits"] >= 1
